@@ -1,0 +1,85 @@
+//! A small disassembler for dumping code the way the paper's figures do.
+//!
+//! Output lines look like:
+//!
+//! ```text
+//! 120001000:  23de ffe0   lda sp, -32(sp)
+//! 120001004:  a77d 0090   ldq pv, 144(gp)
+//! ```
+//!
+//! Branch targets are resolved to absolute addresses so before/after dumps of
+//! OM transformations are readable.
+
+use crate::decode::decode;
+use crate::inst::Inst;
+use std::fmt::Write as _;
+
+/// Disassembles one instruction at `addr`, resolving branch displacements.
+pub fn line(addr: u64, word: u32) -> String {
+    let mut out = format!("{addr:>9x}:  {:04x} {:04x}   ", word >> 16, word & 0xFFFF);
+    match decode(word) {
+        Ok(Inst::Br { op, ra, disp }) => {
+            let target = addr.wrapping_add(4).wrapping_add((disp as i64 * 4) as u64);
+            // Re-render with the resolved target.
+            let i = Inst::Br { op, ra, disp };
+            let text = i.to_string();
+            let mnemonic_and_reg = text.rsplit_once(',').map(|(head, _)| head).unwrap_or(&text);
+            let _ = write!(out, "{mnemonic_and_reg}, {target:#x}");
+        }
+        Ok(inst) => {
+            let _ = write!(out, "{inst}");
+        }
+        Err(_) => {
+            let _ = write!(out, ".word {word:#010x}");
+        }
+    }
+    out
+}
+
+/// Disassembles a whole text section starting at `base`.
+pub fn section(base: u64, bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        out.push_str(&line(base + 4 * i as u64, word));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode, encode_all};
+    use crate::inst::BrOp;
+    use crate::reg::Reg;
+
+    #[test]
+    fn line_formats_address_and_words() {
+        let text = line(0x1_2000_1000, encode(Inst::nop()));
+        assert!(text.starts_with("120001000:"), "{text}");
+        assert!(text.contains("bis zero, zero, zero"), "{text}");
+    }
+
+    #[test]
+    fn branch_targets_are_resolved() {
+        let br = Inst::Br { op: BrOp::Bsr, ra: Reg::RA, disp: 2 };
+        let text = line(0x1000, encode(br));
+        // target = 0x1000 + 4 + 2*4 = 0x100c
+        assert!(text.contains("0x100c"), "{text}");
+    }
+
+    #[test]
+    fn garbage_becomes_word_directive() {
+        let text = line(0, 0x5000_0000);
+        assert!(text.contains(".word"), "{text}");
+    }
+
+    #[test]
+    fn section_emits_one_line_per_instruction() {
+        let bytes = encode_all(&[Inst::nop(), Inst::ret()]);
+        let text = section(0x2000, &bytes);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("ret zero, (ra)"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Integer and floating-point register names for the Alpha AXP.
+//!
+//! The Alpha has 32 integer registers (`r0`–`r31`) and 32 floating-point
+//! registers (`f0`–`f31`); `r31` and `f31` always read as zero and writes to
+//! them are discarded. The Alpha/OSF calling convention dedicates several
+//! integer registers, and this reproduction leans on exactly the ones the
+//! paper's transformations care about:
+//!
+//! * [`Reg::PV`] (`r27`) — procedure value: holds the address of the callee at
+//!   a call, and of the procedure itself on entry (used to derive GP),
+//! * [`Reg::GP`] (`r29`) — global pointer: base register for the global
+//!   address table (GAT),
+//! * [`Reg::RA`] (`r26`) — return address (used to re-derive GP after a call),
+//! * [`Reg::SP`] (`r30`) — stack pointer.
+
+use std::fmt;
+
+/// An Alpha register number in `0..32`.
+///
+/// The same type is used for integer and floating-point registers; which file
+/// a register number names is determined by the instruction that mentions it
+/// (e.g. `LDT f3, 8(r30)` reads integer `r30` and writes floating `f3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Integer function result register (`v0`).
+    pub const V0: Reg = Reg(0);
+    /// First temporary register (`t0`). `t0`–`t7` are `r1`–`r8`.
+    pub const T0: Reg = Reg(1);
+    /// Callee-saved registers `s0`–`s5` are `r9`–`r14`.
+    pub const S0: Reg = Reg(9);
+    /// Frame pointer / `s6`.
+    pub const FP: Reg = Reg(15);
+    /// First argument register (`a0`). `a0`–`a5` are `r16`–`r21`.
+    pub const A0: Reg = Reg(16);
+    /// Second argument register.
+    pub const A1: Reg = Reg(17);
+    /// Third argument register.
+    pub const A2: Reg = Reg(18);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(19);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(20);
+    /// Sixth argument register.
+    pub const A5: Reg = Reg(21);
+    /// Scratch registers `t8`-`t11` are `r22`-`r25`.
+    pub const T8: Reg = Reg(22);
+    /// Return-address register (`ra`, `r26`).
+    pub const RA: Reg = Reg(26);
+    /// Procedure value (`pv`/`t12`, `r27`).
+    pub const PV: Reg = Reg(27);
+    /// Assembler temporary (`at`, `r28`).
+    pub const AT: Reg = Reg(28);
+    /// Global pointer (`gp`, `r29`).
+    pub const GP: Reg = Reg(29);
+    /// Stack pointer (`sp`, `r30`).
+    pub const SP: Reg = Reg(30);
+    /// Hardwired zero (`r31`/`f31`).
+    pub const ZERO: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// The register's number in `0..32`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// True for `r31`/`f31`, which always read as zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// Iterates over all 32 register numbers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::RA => write!(f, "ra"),
+            Reg::PV => write!(f, "pv"),
+            Reg::AT => write!(f, "at"),
+            Reg::GP => write!(f, "gp"),
+            Reg::SP => write!(f, "sp"),
+            Reg::ZERO => write!(f, "zero"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// Formats a register number as a floating-point register (`f7`).
+///
+/// [`Reg`] carries no int/float distinction; call this from contexts (the
+/// disassembler, debug dumps) that know the operand is floating-point.
+pub fn fp_name(r: Reg) -> String {
+    format!("f{}", r.number())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_registers_have_conventional_numbers() {
+        assert_eq!(Reg::V0.number(), 0);
+        assert_eq!(Reg::A0.number(), 16);
+        assert_eq!(Reg::RA.number(), 26);
+        assert_eq!(Reg::PV.number(), 27);
+        assert_eq!(Reg::GP.number(), 29);
+        assert_eq!(Reg::SP.number(), 30);
+        assert_eq!(Reg::ZERO.number(), 31);
+    }
+
+    #[test]
+    fn zero_register_is_flagged() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::GP.is_zero());
+    }
+
+    #[test]
+    fn display_uses_conventional_names() {
+        assert_eq!(Reg::GP.to_string(), "gp");
+        assert_eq!(Reg::new(5).to_string(), "r5");
+        assert_eq!(fp_name(Reg::new(7)), "f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), 32);
+    }
+}

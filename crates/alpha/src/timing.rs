@@ -1,0 +1,142 @@
+//! Latency and dual-issue classification for a 21064-class (EV4) pipeline.
+//!
+//! The paper's dynamic measurements were taken on a DECstation 3000 Model 400,
+//! a dual-issue Alpha 21064. Two properties of that machine drive the paper's
+//! results and are modeled here and in `om-sim`:
+//!
+//! * **load latency** — removing an address load saves its issue slot *and*
+//!   the latency its consumers waited out (or lets the slot hide some other
+//!   latency, which is why nullified no-ops are often free);
+//! * **dual issue with alignment** — the 21064 can issue two instructions per
+//!   cycle only when they sit in the same aligned quadword and fall into
+//!   compatible pipes, which is why OM-full quadword-aligns the targets of
+//!   backward branches.
+
+use crate::inst::{Inst, MemOp};
+
+/// Issue-pipe classification used by the pairing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueClass {
+    /// Integer operate instructions (E-box).
+    IntOp,
+    /// Loads, stores, and load-address operations (A-box).
+    Mem,
+    /// Floating-point operates (F-box).
+    FpOp,
+    /// Branches, jumps, and PAL calls (B-box).
+    Branch,
+}
+
+/// Returns the issue class of an instruction.
+pub fn issue_class(inst: &Inst) -> IssueClass {
+    match inst {
+        Inst::Mem { .. } => IssueClass::Mem,
+        Inst::Opr { .. } => IssueClass::IntOp,
+        Inst::FOpr { .. } => IssueClass::FpOp,
+        Inst::Br { .. } | Inst::Jmp { .. } | Inst::Pal { .. } => IssueClass::Branch,
+    }
+}
+
+/// Result latency in cycles: the number of cycles after issue before a
+/// dependent instruction can issue. 1 means back-to-back issue is fine.
+pub fn latency(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Mem { op, .. } => match op {
+            // LDA/LDAH execute in the integer pipeline: single cycle.
+            MemOp::Lda | MemOp::Ldah => 1,
+            // D-cache hit latency on the 21064.
+            _ if op.is_load() => 3,
+            _ => 1,
+        },
+        Inst::Opr { op, .. } => {
+            if op.is_mul() {
+                // 21064 integer multiply is not pipelined and very slow.
+                21
+            } else {
+                1
+            }
+        }
+        Inst::FOpr { op, .. } => match op {
+            crate::inst::FOprOp::Divt => 31,
+            _ => 6,
+        },
+        Inst::Br { .. } | Inst::Jmp { .. } | Inst::Pal { .. } => 1,
+    }
+}
+
+/// Dual-issue pairing rule: may `first` and `second` (in program order, with
+/// `first` at an 8-byte-aligned address) issue in the same cycle?
+///
+/// The model follows the EV4's practical constraints: the two instructions
+/// must use different pipes, at most one may access memory, at most one may be
+/// a branch, and the branch must be the second of the pair.
+pub fn can_dual_issue(first: &Inst, second: &Inst) -> bool {
+    use IssueClass::*;
+    match (issue_class(first), issue_class(second)) {
+        (a, b) if a == b => false,
+        (Branch, _) => false,
+        (IntOp, Mem) | (Mem, IntOp) => true,
+        (IntOp, FpOp) | (FpOp, IntOp) => true,
+        (FpOp, Mem) | (Mem, FpOp) => true,
+        (_, Branch) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BrOp, Operand, OprOp};
+    use crate::reg::Reg;
+
+    #[test]
+    fn loads_have_multicycle_latency() {
+        assert_eq!(latency(&Inst::ldq(Reg::new(1), 0, Reg::GP)), 3);
+        assert_eq!(latency(&Inst::lda(Reg::new(1), 0, Reg::GP)), 1);
+    }
+
+    #[test]
+    fn multiply_is_slow() {
+        let mul = Inst::Opr {
+            op: OprOp::Mulq,
+            ra: Reg::new(1),
+            rb: Operand::Reg(Reg::new(2)),
+            rc: Reg::new(3),
+        };
+        assert!(latency(&mul) > 10);
+    }
+
+    #[test]
+    fn int_and_mem_pair() {
+        let add = Inst::mov(Reg::new(1), Reg::new(2));
+        let load = Inst::ldq(Reg::new(3), 0, Reg::GP);
+        assert!(can_dual_issue(&add, &load));
+        assert!(can_dual_issue(&load, &add));
+    }
+
+    #[test]
+    fn same_class_does_not_pair() {
+        let l1 = Inst::ldq(Reg::new(1), 0, Reg::GP);
+        let l2 = Inst::ldq(Reg::new(2), 8, Reg::GP);
+        assert!(!can_dual_issue(&l1, &l2));
+        let a1 = Inst::mov(Reg::new(1), Reg::new(2));
+        let a2 = Inst::mov(Reg::new(3), Reg::new(4));
+        assert!(!can_dual_issue(&a1, &a2));
+    }
+
+    #[test]
+    fn branch_must_be_second() {
+        let br = Inst::Br { op: BrOp::Br, ra: Reg::ZERO, disp: 0 };
+        let add = Inst::mov(Reg::new(1), Reg::new(2));
+        assert!(can_dual_issue(&add, &br));
+        assert!(!can_dual_issue(&br, &add));
+    }
+
+    #[test]
+    fn issue_classes() {
+        assert_eq!(issue_class(&Inst::nop()), IssueClass::IntOp);
+        assert_eq!(issue_class(&Inst::unop()), IssueClass::Mem);
+        assert_eq!(issue_class(&Inst::fnop()), IssueClass::FpOp);
+        assert_eq!(issue_class(&Inst::ret()), IssueClass::Branch);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: every constructible instruction survives an
+//! encode→decode round trip, and decoding arbitrary words never panics.
+
+use om_alpha::inst::{BrOp, FOprOp, Inst, JmpOp, MemOp, Operand, OprOp, PalOp};
+use om_alpha::reg::Reg;
+use om_alpha::{decode, encode};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        Just(MemOp::Lda),
+        Just(MemOp::Ldah),
+        Just(MemOp::Ldl),
+        Just(MemOp::Ldq),
+        Just(MemOp::LdqU),
+        Just(MemOp::Stl),
+        Just(MemOp::Stq),
+        Just(MemOp::Ldt),
+        Just(MemOp::Stt),
+    ]
+}
+
+fn any_br_op() -> impl Strategy<Value = BrOp> {
+    prop_oneof![
+        Just(BrOp::Br),
+        Just(BrOp::Bsr),
+        Just(BrOp::Beq),
+        Just(BrOp::Bne),
+        Just(BrOp::Blt),
+        Just(BrOp::Ble),
+        Just(BrOp::Bgt),
+        Just(BrOp::Bge),
+        Just(BrOp::Blbc),
+        Just(BrOp::Blbs),
+        Just(BrOp::Fbeq),
+        Just(BrOp::Fbne),
+        Just(BrOp::Fblt),
+        Just(BrOp::Fbge),
+    ]
+}
+
+fn any_opr_op() -> impl Strategy<Value = OprOp> {
+    prop_oneof![
+        Just(OprOp::Addq),
+        Just(OprOp::Subq),
+        Just(OprOp::Addl),
+        Just(OprOp::Subl),
+        Just(OprOp::Mulq),
+        Just(OprOp::Mull),
+        Just(OprOp::S4Addq),
+        Just(OprOp::S8Addq),
+        Just(OprOp::And),
+        Just(OprOp::Bic),
+        Just(OprOp::Bis),
+        Just(OprOp::Ornot),
+        Just(OprOp::Xor),
+        Just(OprOp::Eqv),
+        Just(OprOp::Sll),
+        Just(OprOp::Srl),
+        Just(OprOp::Sra),
+        Just(OprOp::Cmpeq),
+        Just(OprOp::Cmplt),
+        Just(OprOp::Cmple),
+        Just(OprOp::Cmpult),
+        Just(OprOp::Cmpule),
+        Just(OprOp::Cmoveq),
+        Just(OprOp::Cmovne),
+        Just(OprOp::Cmovlt),
+        Just(OprOp::Cmovge),
+    ]
+}
+
+fn any_fopr_op() -> impl Strategy<Value = FOprOp> {
+    prop_oneof![
+        Just(FOprOp::Addt),
+        Just(FOprOp::Subt),
+        Just(FOprOp::Mult),
+        Just(FOprOp::Divt),
+        Just(FOprOp::Cmpteq),
+        Just(FOprOp::Cmptlt),
+        Just(FOprOp::Cmptle),
+        Just(FOprOp::Cvtqt),
+        Just(FOprOp::Cvttq),
+        Just(FOprOp::Cpys),
+        Just(FOprOp::Cpysn),
+    ]
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_mem_op(), any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(op, ra, rb, disp)| Inst::Mem { op, ra, rb, disp }),
+        (any_br_op(), any_reg(), -(1i32 << 20)..(1i32 << 20))
+            .prop_map(|(op, ra, disp)| Inst::Br { op, ra, disp }),
+        (
+            prop_oneof![Just(JmpOp::Jmp), Just(JmpOp::Jsr), Just(JmpOp::Ret)],
+            any_reg(),
+            any_reg(),
+            0u16..(1 << 14)
+        )
+            .prop_map(|(op, ra, rb, hint)| Inst::Jmp { op, ra, rb, hint }),
+        (
+            any_opr_op(),
+            any_reg(),
+            prop_oneof![any_reg().prop_map(Operand::Reg), any::<u8>().prop_map(Operand::Lit)],
+            any_reg()
+        )
+            .prop_map(|(op, ra, rb, rc)| Inst::Opr { op, ra, rb, rc }),
+        (any_fopr_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, fa, fb, fc)| Inst::FOpr { op, fa, fb, fc }),
+        prop_oneof![Just(PalOp::Halt), Just(PalOp::WriteInt)].prop_map(|op| Inst::Pal { op }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let word = encode(inst);
+        prop_assert_eq!(decode(word), Ok(inst));
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_words_reencode_identically(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            // Decode is not injective on the hint/SBZ bits we mask off, but
+            // re-encoding a decoded instruction must be stable.
+            let word2 = encode(inst);
+            prop_assert_eq!(decode(word2), Ok(inst));
+        }
+    }
+}

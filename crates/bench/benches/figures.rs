@@ -1,0 +1,77 @@
+//! Criterion benches over the build pipeline — the measured counterpart of
+//! the paper's Figure 7 (processing time of the standard link vs OM's
+//! levels) plus compile and simulation throughput context.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use om_core::{optimize_and_link, OmLevel};
+use om_linker::Linker;
+use om_workloads::build::{build, CompileMode};
+use om_workloads::spec;
+
+/// Figure 7 pipeline timings on a representative benchmark.
+fn fig7_build_times(c: &mut Criterion) {
+    let s = spec::quick(&spec::by_name("espresso").unwrap());
+    let built = build(&s, CompileMode::Each).unwrap();
+
+    let mut g = c.benchmark_group("fig7_build_times");
+    g.sample_size(10);
+
+    g.bench_function("standard_link", |b| {
+        b.iter_batched(
+            || (built.objects.clone(), built.libs.clone()),
+            |(objs, libs)| {
+                let mut linker = Linker::new();
+                for o in objs {
+                    linker = linker.object(o);
+                }
+                for l in libs {
+                    linker = linker.library(l);
+                }
+                linker.link().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
+        g.bench_function(level.name().replace([' ', '/'], "_"), |b| {
+            b.iter_batched(
+                || (built.objects.clone(), built.libs.clone()),
+                |(objs, libs)| optimize_and_link(objs, &libs, level).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The paper's "interproc build" row: recompiling everything from source.
+fn fig7_interproc_build(c: &mut Criterion) {
+    let s = spec::quick(&spec::by_name("espresso").unwrap());
+    let mut g = c.benchmark_group("fig7_interproc_build");
+    g.sample_size(10);
+    g.bench_function("compile_all_from_source", |b| {
+        b.iter(|| build(&s, CompileMode::All).unwrap())
+    });
+    g.bench_function("compile_each_from_source", |b| {
+        b.iter(|| build(&s, CompileMode::Each).unwrap())
+    });
+    g.finish();
+}
+
+/// Simulation throughput (context for Figure 6's measurement cost).
+fn simulator_throughput(c: &mut Criterion) {
+    let s = spec::quick(&spec::by_name("compress").unwrap());
+    let built = build(&s, CompileMode::Each).unwrap();
+    let out = optimize_and_link(built.objects.clone(), &built.libs, OmLevel::Full).unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("timed_run", |b| {
+        b.iter(|| om_sim::run_timed(&out.image, 1_000_000_000).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7_build_times, fig7_interproc_build, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [all]
+//!           [--quick] [--bench NAME]...
+//! ```
+
+use om_bench::figures::{self, Prepared};
+use om_bench::render;
+use om_workloads::spec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut filter: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--bench" => {
+                i += 1;
+                filter.push(args.get(i).cloned().unwrap_or_default());
+            }
+            "all" => which.extend(["fig3", "fig4", "fig5", "fig6", "fig7", "gat"]),
+            f @ ("fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "gat") => which.push(match f {
+                "fig3" => "fig3",
+                "fig4" => "fig4",
+                "fig5" => "fig5",
+                "fig6" => "fig6",
+                "fig7" => "fig7",
+                _ => "gat",
+            }),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|all] [--quick] [--bench NAME]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.extend(["fig3", "fig4", "fig5", "fig6", "fig7", "gat"]);
+    }
+    which.dedup();
+
+    let specs: Vec<_> = spec::all()
+        .into_iter()
+        .filter(|s| filter.is_empty() || filter.iter().any(|f| f == s.name))
+        .map(|s| if quick { spec::quick(&s) } else { s })
+        .collect();
+    if specs.is_empty() {
+        eprintln!("no benchmarks match the filter");
+        std::process::exit(2);
+    }
+
+    eprintln!("building {} benchmarks (both compile modes)...", specs.len());
+    let prepared: Vec<Prepared> = specs.iter().map(Prepared::new).collect();
+
+    for w in which {
+        match w {
+            "fig3" => {
+                let rows: Vec<_> = prepared
+                    .iter()
+                    .map(|p| (p.spec.name.to_string(), figures::fig3(p)))
+                    .collect();
+                println!("{}", render::fig3(&rows));
+            }
+            "fig4" => {
+                let rows: Vec<_> = prepared
+                    .iter()
+                    .map(|p| (p.spec.name.to_string(), figures::fig4(p)))
+                    .collect();
+                println!("{}", render::fig4(&rows));
+            }
+            "fig5" => {
+                let rows: Vec<_> = prepared
+                    .iter()
+                    .map(|p| (p.spec.name.to_string(), figures::fig5(p)))
+                    .collect();
+                println!("{}", render::fig5(&rows));
+            }
+            "fig6" => {
+                eprintln!("fig6: simulating 8 variants per benchmark...");
+                let rows: Vec<_> = prepared
+                    .iter()
+                    .map(|p| {
+                        eprintln!("  {}", p.spec.name);
+                        (p.spec.name.to_string(), figures::fig6(p))
+                    })
+                    .collect();
+                println!("{}", render::fig6(&rows));
+            }
+            "fig7" => {
+                let rows: Vec<_> = prepared
+                    .iter()
+                    .map(|p| (p.spec.name.to_string(), figures::fig7(p)))
+                    .collect();
+                println!("{}", render::fig7(&rows));
+            }
+            "gat" => {
+                let rows: Vec<_> = prepared
+                    .iter()
+                    .map(|p| (p.spec.name.to_string(), figures::gat(p)))
+                    .collect();
+                println!("{}", render::gat(&rows));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Reproduction of every figure and table in the paper's evaluation (§5).
+//!
+//! Each `figN` function measures one benchmark in the same configurations the
+//! paper plots and returns the rows its figure reports. The `reproduce`
+//! binary renders them as text tables; `EXPERIMENTS.md` records a captured
+//! run against the paper's numbers.
+
+use om_core::{optimize_and_link, OmLevel, OmStats};
+use om_linker::Linker;
+use om_sim::{run_timed, TimingStats};
+use om_workloads::build::{build, BuiltBenchmark, CompileMode};
+use om_workloads::gen::BenchSpec;
+use std::time::Instant;
+
+/// Simulator instruction budget per run.
+pub const SIM_LIMIT: u64 = 2_000_000_000;
+
+/// A fully-built benchmark in both compile modes (compiled once, measured
+/// many times).
+pub struct Prepared {
+    pub spec: BenchSpec,
+    pub each: BuiltBenchmark,
+    pub all: BuiltBenchmark,
+}
+
+impl Prepared {
+    /// Builds both variants of a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated program fails to compile (a toolchain bug).
+    pub fn new(spec: &BenchSpec) -> Prepared {
+        Prepared {
+            spec: *spec,
+            each: build(spec, CompileMode::Each).expect("compile-each build"),
+            all: build(spec, CompileMode::All).expect("compile-all build"),
+        }
+    }
+
+    fn built(&self, mode: CompileMode) -> &BuiltBenchmark {
+        match mode {
+            CompileMode::Each => &self.each,
+            CompileMode::All => &self.all,
+        }
+    }
+
+    /// Runs OM at `level` on `mode`'s objects, returning its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link failure.
+    pub fn om_stats(&self, mode: CompileMode, level: OmLevel) -> OmStats {
+        let b = self.built(mode);
+        optimize_and_link(b.objects.clone(), &b.libs, level)
+            .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()))
+            .stats
+    }
+
+    /// Simulates `mode` under the standard link and returns `(result, timing)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link or execution failure.
+    pub fn run_standard(&self, mode: CompileMode) -> (i64, TimingStats) {
+        let b = self.built(mode);
+        let mut linker = Linker::new();
+        for o in b.objects.clone() {
+            linker = linker.object(o);
+        }
+        for l in b.libs.clone() {
+            linker = linker.library(l.clone());
+        }
+        let (image, _) = linker.link().unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
+        let (r, t) = run_timed(&image, SIM_LIMIT).unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
+        (r.result, t)
+    }
+
+    /// Simulates `mode` after OM at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link or execution failure.
+    pub fn run_om(&self, mode: CompileMode, level: OmLevel) -> (i64, TimingStats) {
+        let b = self.built(mode);
+        let out = optimize_and_link(b.objects.clone(), &b.libs, level)
+            .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+        let (r, t) = run_timed(&out.image, SIM_LIMIT)
+            .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+        (r.result, t)
+    }
+}
+
+/// Figure 3: static fraction of address loads removed, split converted /
+/// nullified, for (compile-each, compile-all) × (OM-simple, OM-full).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    /// `(converted, nullified)` fractions in `[0, 1]`.
+    pub each_simple: (f64, f64),
+    pub each_full: (f64, f64),
+    pub all_simple: (f64, f64),
+    pub all_full: (f64, f64),
+}
+
+/// Measures Figure 3 for one prepared benchmark.
+pub fn fig3(p: &Prepared) -> Fig3Row {
+    Fig3Row {
+        each_simple: p.om_stats(CompileMode::Each, OmLevel::Simple).addr_load_fractions(),
+        each_full: p.om_stats(CompileMode::Each, OmLevel::Full).addr_load_fractions(),
+        all_simple: p.om_stats(CompileMode::All, OmLevel::Simple).addr_load_fractions(),
+        all_full: p.om_stats(CompileMode::All, OmLevel::Full).addr_load_fractions(),
+    }
+}
+
+/// Figure 4: fraction of calls still requiring PV loads (top) and GP-reset
+/// code (bottom) for no-OM / OM-simple / OM-full × compile-each/compile-all.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Indexed `[mode][level]` with mode 0=each 1=all, level 0=no OM,
+    /// 1=simple, 2=full.
+    pub pv: [[f64; 3]; 2],
+    pub gp_reset: [[f64; 3]; 2],
+}
+
+/// Measures Figure 4 for one prepared benchmark.
+pub fn fig4(p: &Prepared) -> Fig4Row {
+    let mut pv = [[0.0; 3]; 2];
+    let mut gp = [[0.0; 3]; 2];
+    for (mi, mode) in [CompileMode::Each, CompileMode::All].into_iter().enumerate() {
+        for (li, level) in [OmLevel::None, OmLevel::Simple, OmLevel::Full].into_iter().enumerate() {
+            let s = p.om_stats(mode, level);
+            pv[mi][li] = s.pv_fraction_after();
+            gp[mi][li] = s.gp_reset_fraction_after();
+        }
+    }
+    Fig4Row { pv, gp_reset: gp }
+}
+
+/// Figure 5: static fraction of instructions nullified (simple) or deleted
+/// (full), per compile mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    pub each_simple: f64,
+    pub each_full: f64,
+    pub all_simple: f64,
+    pub all_full: f64,
+}
+
+/// Measures Figure 5 for one prepared benchmark.
+pub fn fig5(p: &Prepared) -> Fig5Row {
+    Fig5Row {
+        each_simple: p.om_stats(CompileMode::Each, OmLevel::Simple).inst_fraction_removed(),
+        each_full: p.om_stats(CompileMode::Each, OmLevel::Full).inst_fraction_removed(),
+        all_simple: p.om_stats(CompileMode::All, OmLevel::Simple).inst_fraction_removed(),
+        all_full: p.om_stats(CompileMode::All, OmLevel::Full).inst_fraction_removed(),
+    }
+}
+
+/// Figure 6: dynamic percentage improvement over the same compile mode with
+/// no link-time optimization, plus the §5.2 rescheduling variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Percent improvements, indexed `[mode][level]` with level 0=simple,
+    /// 1=full, 2=full w/sched.
+    pub improvement: [[f64; 3]; 2],
+    /// Baseline cycle counts per mode (for context).
+    pub base_cycles: [u64; 2],
+}
+
+/// Measures Figure 6 for one prepared benchmark (the expensive one: eight
+/// simulator runs).
+///
+/// # Panics
+///
+/// Panics if any variant's checksum disagrees with the baseline — the
+/// harness doubles as a correctness check.
+pub fn fig6(p: &Prepared) -> Fig6Row {
+    let mut improvement = [[0.0; 3]; 2];
+    let mut base_cycles = [0u64; 2];
+    for (mi, mode) in [CompileMode::Each, CompileMode::All].into_iter().enumerate() {
+        let (expect, base) = p.run_standard(mode);
+        base_cycles[mi] = base.cycles;
+        for (li, level) in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched]
+            .into_iter()
+            .enumerate()
+        {
+            let (r, t) = p.run_om(mode, level);
+            assert_eq!(r, expect, "{} {} {}", p.spec.name, mode.name(), level.name());
+            improvement[mi][li] = (base.cycles as f64 / t.cycles as f64 - 1.0) * 100.0;
+        }
+    }
+    Fig6Row { improvement, base_cycles }
+}
+
+/// Figure 7: build-time comparison in seconds — standard link, the
+/// interprocedural build (compile-all from source), and OM at each level.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    pub standard_link: f64,
+    pub interproc_build: f64,
+    pub om_none: f64,
+    pub om_simple: f64,
+    pub om_full: f64,
+    pub om_full_sched: f64,
+}
+
+/// Measures Figure 7 for one benchmark spec (compiles inside the timed
+/// regions exactly as the paper's table does).
+pub fn fig7(p: &Prepared) -> Fig7Row {
+    let time = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
+
+    let standard_link = time(&mut || {
+        let b = &p.each;
+        let mut linker = Linker::new();
+        for o in b.objects.clone() {
+            linker = linker.object(o);
+        }
+        for l in b.libs.clone() {
+            linker = linker.library(l);
+        }
+        let _ = linker.link().expect("standard link");
+    });
+
+    // The paper's "interproc build": full recompilation of all sources with
+    // interprocedural optimization, then a standard link.
+    let interproc_build = time(&mut || {
+        let b = build(&p.spec, CompileMode::All).expect("compile-all");
+        let mut linker = Linker::new();
+        for o in b.objects {
+            linker = linker.object(o);
+        }
+        for l in b.libs {
+            linker = linker.library(l);
+        }
+        let _ = linker.link().expect("link");
+    });
+
+    let om = |level: OmLevel| {
+        let b = &p.each;
+        let objects = b.objects.clone();
+        let libs = b.libs.clone();
+        let t0 = Instant::now();
+        let _ = optimize_and_link(objects, &libs, level).expect("om link");
+        t0.elapsed().as_secs_f64()
+    };
+
+    Fig7Row {
+        standard_link,
+        interproc_build,
+        om_none: om(OmLevel::None),
+        om_simple: om(OmLevel::Simple),
+        om_full: om(OmLevel::Full),
+        om_full_sched: om(OmLevel::FullSched),
+    }
+}
+
+/// §5.1 GAT reduction: merged GAT slots before and after OM-full, per
+/// compile mode.
+#[derive(Debug, Clone, Copy)]
+pub struct GatRow {
+    pub each_before: usize,
+    pub each_after: usize,
+    pub all_before: usize,
+    pub all_after: usize,
+}
+
+/// Measures the GAT-reduction row for one prepared benchmark.
+pub fn gat(p: &Prepared) -> GatRow {
+    let e = p.om_stats(CompileMode::Each, OmLevel::Full);
+    let a = p.om_stats(CompileMode::All, OmLevel::Full);
+    GatRow {
+        each_before: e.gat_slots_before,
+        each_after: e.gat_slots_after,
+        all_before: a.gat_slots_before,
+        all_after: a.gat_slots_after,
+    }
+}

@@ -1,0 +1,18 @@
+//! Evaluation harness: regenerates every table and figure of the paper's §5
+//! over the synthetic SPEC92 suite.
+//!
+//! Run the full reproduction with:
+//!
+//! ```text
+//! cargo run --release -p om-bench --bin reproduce -- all
+//! ```
+//!
+//! or individual artifacts (`fig3 fig4 fig5 fig6 fig7 gat`), optionally with
+//! `--quick` (fewer loop iterations) and `--bench <name>` filters. Criterion
+//! benches (`cargo bench -p om-bench`) time the build pipeline itself — the
+//! paper's Figure 7 comparison — under a measurement harness.
+
+pub mod figures;
+pub mod render;
+
+pub use figures::{fig3, fig4, fig5, fig6, fig7, gat, Prepared};

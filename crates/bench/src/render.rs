@@ -1,0 +1,311 @@
+//! Text rendering of the reproduced figures, in the layout of the paper's
+//! plots (per-benchmark rows plus the unweighted arithmetic mean the paper's
+//! figure keys show).
+
+use crate::figures::{Fig3Row, Fig4Row, Fig5Row, Fig6Row, Fig7Row, GatRow};
+
+fn pct(v: f64) -> String {
+    format!("{:5.1}", v * 100.0)
+}
+
+/// Renders Figure 3.
+pub fn fig3(rows: &[(String, Fig3Row)]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3: static fraction of address loads removed (%)\n");
+    out.push_str("  (cv = converted to load-address, nu = nullified/deleted)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:^11} | {:^11} | {:^11} | {:^11}\n",
+        "", "each/simple", "each/full", "all/simple", "all/full"
+    ));
+    out.push_str(&format!(
+        "{:10} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5}\n",
+        "benchmark", "cv", "nu", "cv", "nu", "cv", "nu", "cv", "nu"
+    ));
+    out.push_str(&"-".repeat(66));
+    out.push('\n');
+    let mut sums = [0.0f64; 8];
+    for (name, r) in rows {
+        let v = [
+            r.each_simple.0,
+            r.each_simple.1,
+            r.each_full.0,
+            r.each_full.1,
+            r.all_simple.0,
+            r.all_simple.1,
+            r.all_full.0,
+            r.all_full.1,
+        ];
+        for (s, x) in sums.iter_mut().zip(v) {
+            *s += x;
+        }
+        out.push_str(&format!(
+            "{:10} | {} {} | {} {} | {} {} | {} {}\n",
+            name,
+            pct(v[0]),
+            pct(v[1]),
+            pct(v[2]),
+            pct(v[3]),
+            pct(v[4]),
+            pct(v[5]),
+            pct(v[6]),
+            pct(v[7])
+        ));
+    }
+    let n = rows.len() as f64;
+    out.push_str(&"-".repeat(66));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:10} | {} {} | {} {} | {} {} | {} {}\n",
+        "MEAN",
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+        pct(sums[5] / n),
+        pct(sums[6] / n),
+        pct(sums[7] / n)
+    ));
+    out
+}
+
+/// Renders Figure 4.
+pub fn fig4(rows: &[(String, Fig4Row)]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4: fraction of calls still requiring PV loads (top)\n");
+    out.push_str("          and GP-reset code (bottom), %\n\n");
+    for (title, pick) in [
+        ("PV loads", 0usize),
+        ("GP resets", 1usize),
+    ] {
+        out.push_str(&format!(
+            "{title}:\n{:10} | {:^17} | {:^17}\n",
+            "", "compile-each", "compile-all"
+        ));
+        out.push_str(&format!(
+            "{:10} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}\n",
+            "benchmark", "noOM", "simp", "full", "noOM", "simp", "full"
+        ));
+        out.push_str(&"-".repeat(50));
+        out.push('\n');
+        let mut sums = [0.0f64; 6];
+        for (name, r) in rows {
+            let m = if pick == 0 { r.pv } else { r.gp_reset };
+            let v = [m[0][0], m[0][1], m[0][2], m[1][0], m[1][1], m[1][2]];
+            for (s, x) in sums.iter_mut().zip(v) {
+                *s += x;
+            }
+            out.push_str(&format!(
+                "{:10} | {} {} {} | {} {} {}\n",
+                name,
+                pct(v[0]),
+                pct(v[1]),
+                pct(v[2]),
+                pct(v[3]),
+                pct(v[4]),
+                pct(v[5])
+            ));
+        }
+        let n = rows.len() as f64;
+        out.push_str(&"-".repeat(50));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:10} | {} {} {} | {} {} {}\n\n",
+            "MEAN",
+            pct(sums[0] / n),
+            pct(sums[1] / n),
+            pct(sums[2] / n),
+            pct(sums[3] / n),
+            pct(sums[4] / n),
+            pct(sums[5] / n)
+        ));
+    }
+    out
+}
+
+/// Renders Figure 5.
+pub fn fig5(rows: &[(String, Fig5Row)]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5: static fraction of instructions nullified/deleted (%)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:>11} {:>9} | {:>10} {:>8}\n",
+        "benchmark", "each/simple", "each/full", "all/simple", "all/full"
+    ));
+    out.push_str(&"-".repeat(57));
+    out.push('\n');
+    let mut sums = [0.0f64; 4];
+    for (name, r) in rows {
+        let v = [r.each_simple, r.each_full, r.all_simple, r.all_full];
+        for (s, x) in sums.iter_mut().zip(v) {
+            *s += x;
+        }
+        out.push_str(&format!(
+            "{:10} | {:>11} {:>9} | {:>10} {:>8}\n",
+            name,
+            pct(v[0]),
+            pct(v[1]),
+            pct(v[2]),
+            pct(v[3])
+        ));
+    }
+    let n = rows.len() as f64;
+    out.push_str(&"-".repeat(57));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:10} | {:>11} {:>9} | {:>10} {:>8}\n",
+        "MEAN",
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n)
+    ));
+    out
+}
+
+/// Renders Figure 6, including medians (the paper quotes both).
+pub fn fig6(rows: &[(String, Fig6Row)]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: dynamic improvement over no link-time optimization (%)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:^20} | {:^20}\n",
+        "", "compile-each", "compile-all"
+    ));
+    out.push_str(&format!(
+        "{:10} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}\n",
+        "benchmark", "simp", "full", "sched", "simp", "full", "sched"
+    ));
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for (name, r) in rows {
+        let v = [
+            r.improvement[0][0],
+            r.improvement[0][1],
+            r.improvement[0][2],
+            r.improvement[1][0],
+            r.improvement[1][1],
+            r.improvement[1][2],
+        ];
+        for (c, x) in cols.iter_mut().zip(v) {
+            c.push(x);
+        }
+        out.push_str(&format!(
+            "{:10} | {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2}\n",
+            name, v[0], v[1], v[2], v[3], v[4], v[5]
+        ));
+    }
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    let mean = |c: &Vec<f64>| c.iter().sum::<f64>() / c.len() as f64;
+    let median = |c: &Vec<f64>| {
+        let mut s = c.clone();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    out.push_str(&format!(
+        "{:10} | {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2}\n",
+        "MEAN",
+        mean(&cols[0]),
+        mean(&cols[1]),
+        mean(&cols[2]),
+        mean(&cols[3]),
+        mean(&cols[4]),
+        mean(&cols[5])
+    ));
+    out.push_str(&format!(
+        "{:10} | {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2}\n",
+        "MEDIAN",
+        median(&cols[0]),
+        median(&cols[1]),
+        median(&cols[2]),
+        median(&cols[3]),
+        median(&cols[4]),
+        median(&cols[5])
+    ));
+    out
+}
+
+/// Renders Figure 7.
+pub fn fig7(rows: &[(String, Fig7Row)]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7: build times in seconds\n\n");
+    out.push_str(&format!(
+        "{:10} | {:>8} {:>9} | {:>7} {:>7} {:>7} {:>8}\n",
+        "benchmark", "std-link", "interproc", "OM-none", "OM-simp", "OM-full", "OM-sched"
+    ));
+    out.push_str(&"-".repeat(66));
+    out.push('\n');
+    for (name, r) in rows {
+        out.push_str(&format!(
+            "{:10} | {:>8.3} {:>9.3} | {:>7.3} {:>7.3} {:>7.3} {:>8.3}\n",
+            name,
+            r.standard_link,
+            r.interproc_build,
+            r.om_none,
+            r.om_simple,
+            r.om_full,
+            r.om_full_sched
+        ));
+    }
+    out
+}
+
+/// Renders the §5.1 GAT-reduction table.
+pub fn gat(rows: &[(String, GatRow)]) -> String {
+    let mut out = String::new();
+    out.push_str("GAT reduction under OM-full (merged slots)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6}\n",
+        "benchmark", "each:in", "out", "ratio", "all:in", "out", "ratio"
+    ));
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    for (name, r) in rows {
+        out.push_str(&format!(
+            "{:10} | {:>7} {:>7} {:>5.1}% | {:>7} {:>7} {:>5.1}%\n",
+            name,
+            r.each_before,
+            r.each_after,
+            100.0 * r.each_after as f64 / r.each_before.max(1) as f64,
+            r.all_before,
+            r.all_after,
+            100.0 * r.all_after as f64 / r.all_before.max(1) as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_and_average() {
+        let rows = vec![
+            (
+                "a".to_string(),
+                Fig5Row { each_simple: 0.06, each_full: 0.11, all_simple: 0.05, all_full: 0.10 },
+            ),
+            (
+                "b".to_string(),
+                Fig5Row { each_simple: 0.08, each_full: 0.13, all_simple: 0.07, all_full: 0.12 },
+            ),
+        ];
+        let t = fig5(&rows);
+        assert!(t.contains("MEAN"));
+        assert!(t.contains("7.0"), "{t}"); // mean of 6% and 8%
+    }
+
+    #[test]
+    fn fig6_median_is_robust() {
+        let mk = |v: f64| Fig6Row { improvement: [[v; 3]; 2], base_cycles: [1, 1] };
+        let rows = vec![
+            ("a".into(), mk(1.0)),
+            ("b".into(), mk(2.0)),
+            ("c".into(), mk(50.0)),
+        ];
+        let t = fig6(&rows);
+        assert!(t.contains("MEDIAN"));
+        assert!(t.lines().last().unwrap().contains("2.00"), "{t}");
+    }
+}

@@ -1,0 +1,125 @@
+//! `mcc` — the mini-C compiler driver.
+//!
+//! ```text
+//! mcc [-O0|-O2] [--all] [-o OUT.o | --ar LIB.a] FILE.mc...
+//! ```
+//!
+//! Compiles each source to an object file (`FILE.o` next to the source, or
+//! `-o` for a single input), or all sources monolithically with `--all`
+//! (the paper's interprocedural compile-all), or into an archive with
+//! `--ar`.
+
+use om_codegen::{compile_all_sources, compile_source, CompileOpts};
+use om_objfile::{binary, Archive};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: mcc [-O0|-O2] [--all] [-o OUT.o | --ar LIB.a] FILE.mc...");
+    exit(2);
+}
+
+fn main() {
+    let mut opts = CompileOpts::o2();
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut output: Option<PathBuf> = None;
+    let mut archive: Option<PathBuf> = None;
+    let mut all = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-O0" => opts = CompileOpts::o0(),
+            "-O2" => opts = CompileOpts::o2(),
+            "--no-schedule" => opts.schedule = false,
+            "--all" => all = true,
+            "-o" => {
+                i += 1;
+                output = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--ar" => {
+                i += 1;
+                archive = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            f if !f.starts_with('-') => inputs.push(PathBuf::from(f)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+
+    let stem = |p: &Path| {
+        p.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "module".to_string())
+    };
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("mcc: cannot read {}: {e}", p.display());
+            exit(1);
+        })
+    };
+
+    if all {
+        let sources: Vec<(String, String)> =
+            inputs.iter().map(|p| (stem(p), read(p))).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_str()))
+            .collect();
+        let name = output
+            .as_ref()
+            .map(|p| stem(p))
+            .unwrap_or_else(|| "all".to_string());
+        let module = compile_all_sources(&name, &refs, &opts).unwrap_or_else(|e| {
+            eprintln!("mcc: {e}");
+            exit(1);
+        });
+        let out = output.unwrap_or_else(|| PathBuf::from(format!("{name}.o")));
+        std::fs::write(&out, binary::write_module(&module)).unwrap();
+        eprintln!("mcc: wrote {}", out.display());
+        return;
+    }
+
+    let mut modules = Vec::new();
+    for p in &inputs {
+        let module = compile_source(&stem(p), &read(p), &opts).unwrap_or_else(|e| {
+            eprintln!("mcc: {}: {e}", p.display());
+            exit(1);
+        });
+        modules.push((p.clone(), module));
+    }
+
+    if let Some(arpath) = archive {
+        let name = stem(&arpath);
+        let mut ar = Archive::new(name);
+        for (_, m) in modules {
+            ar.add(m).unwrap_or_else(|e| {
+                eprintln!("mcc: {e}");
+                exit(1);
+            });
+        }
+        std::fs::write(&arpath, binary::write_archive(&ar)).unwrap();
+        eprintln!("mcc: wrote {}", arpath.display());
+        return;
+    }
+
+    if let Some(out) = output {
+        if modules.len() != 1 {
+            eprintln!("mcc: -o requires exactly one input (use --ar or --all)");
+            exit(2);
+        }
+        std::fs::write(&out, binary::write_module(&modules[0].1)).unwrap();
+        eprintln!("mcc: wrote {}", out.display());
+        return;
+    }
+
+    for (p, m) in modules {
+        let out = p.with_extension("o");
+        std::fs::write(&out, binary::write_module(&m)).unwrap();
+        eprintln!("mcc: wrote {}", out.display());
+    }
+}

@@ -1,0 +1,401 @@
+//! Symbolic function code: instructions annotated with the information that
+//! becomes relocations, kept in basic blocks so the compile-time scheduler
+//! can permute instructions without breaking branch displacements or
+//! relocation offsets — everything positional is resolved only at fixup time,
+//! when the function is appended to an object module.
+
+use om_alpha::{BrOp, Inst, Reg};
+use om_objfile::{ModuleBuilder, RelocKind, SymId, Visibility};
+use std::collections::HashMap;
+
+/// Intra-function label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CLabel(pub u32);
+
+/// What the runtime value anchoring a GPDISP pair is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// The PV register holds the procedure's entry address.
+    Entry,
+    /// The RA register holds the return point of the call whose `jsr` carries
+    /// the given instruction id.
+    AfterCall(u32),
+}
+
+/// Symbolic annotation attached to one instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mark {
+    None,
+    /// Address load from the GAT slot of `sym + addend`.
+    Literal { sym: String, addend: i64 },
+    /// Address load whose value escapes into general dataflow: fixup emits
+    /// both a `Literal` and a self-referential `LituseAddr` relocation, so
+    /// OM knows the use set is not rewritable.
+    EscapingLiteral { sym: String, addend: i64 },
+    /// Memory use (base register) of the address loaded by instruction `load`.
+    LituseBase { load: u32 },
+    /// Indirect call through the address loaded by instruction `load`.
+    LituseJsr { load: u32 },
+    /// Escaping use of the address loaded by instruction `load`.
+    LituseAddr { load: u32 },
+    /// First half of a GP-establishing pair.
+    GpdispHi { lo: u32, anchor: Anchor },
+    /// Second half; `hi` names its partner.
+    GpdispLo { hi: u32 },
+    /// Branch (BSR/BR) to a global symbol.
+    BrSym { sym: String },
+    /// Branch to an intra-function label.
+    BrLabel { label: CLabel },
+}
+
+/// One instruction with its annotation and a function-unique id.
+///
+/// Ids survive scheduling; offsets are assigned at fixup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CInst {
+    pub id: u32,
+    pub inst: Inst,
+    pub mark: Mark,
+}
+
+/// A basic block: an optional label at its head and straight-line code.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CBlock {
+    pub label: Option<CLabel>,
+    pub insts: Vec<CInst>,
+}
+
+/// A function's code before layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CFunc {
+    pub name: String,
+    pub vis: Visibility,
+    pub blocks: Vec<CBlock>,
+}
+
+impl CFunc {
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// True if the function has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all instructions in layout order.
+    pub fn insts(&self) -> impl Iterator<Item = &CInst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Appends the function to `builder`: assigns offsets, fills local branch
+    /// displacements, interns GAT slots, converts marks to relocations, and
+    /// defines the procedure symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dangling labels or mark references — compiler bugs, not
+    /// input errors.
+    pub fn fixup_into(&self, builder: &mut ModuleBuilder, gp_group: u32) -> SymId {
+        let start = builder.here();
+
+        // First pass: assign offsets by id and label positions.
+        let mut offset_of_id: HashMap<u32, u64> = HashMap::new();
+        let mut offset_of_label: HashMap<CLabel, u64> = HashMap::new();
+        let mut off = start;
+        for b in &self.blocks {
+            if let Some(l) = b.label {
+                assert!(
+                    offset_of_label.insert(l, off).is_none(),
+                    "duplicate label {l:?} in {}",
+                    self.name
+                );
+            }
+            for i in &b.insts {
+                assert!(
+                    offset_of_id.insert(i.id, off).is_none(),
+                    "duplicate inst id {} in {}",
+                    i.id,
+                    self.name
+                );
+                off += 4;
+            }
+        }
+
+        // Second pass: emit instructions and relocations.
+        for b in &self.blocks {
+            for ci in &b.insts {
+                let here = builder.here();
+                match &ci.mark {
+                    Mark::None => {
+                        builder.emit(ci.inst);
+                    }
+                    Mark::Literal { sym, addend } => {
+                        let id = builder.external(sym);
+                        let slot = builder.lita_slot(id, *addend);
+                        builder.emit_reloc(ci.inst, RelocKind::Literal { lita: slot });
+                    }
+                    Mark::EscapingLiteral { sym, addend } => {
+                        let id = builder.external(sym);
+                        let slot = builder.lita_slot(id, *addend);
+                        let off = builder.emit_reloc(ci.inst, RelocKind::Literal { lita: slot });
+                        builder.reloc_at(
+                            om_objfile::SecId::Text,
+                            off,
+                            RelocKind::LituseAddr { load_offset: off },
+                        );
+                    }
+                    Mark::LituseBase { load } => {
+                        let lo = offset_of_id[load];
+                        builder.emit_reloc(ci.inst, RelocKind::LituseBase { load_offset: lo });
+                    }
+                    Mark::LituseJsr { load } => {
+                        let lo = offset_of_id[load];
+                        builder.emit_reloc(ci.inst, RelocKind::LituseJsr { load_offset: lo });
+                    }
+                    Mark::LituseAddr { load } => {
+                        let lo = offset_of_id[load];
+                        builder.emit_reloc(ci.inst, RelocKind::LituseAddr { load_offset: lo });
+                    }
+                    Mark::GpdispHi { lo, anchor } => {
+                        let lo_off = offset_of_id[lo];
+                        let anchor_off = match anchor {
+                            Anchor::Entry => start,
+                            Anchor::AfterCall(jsr) => offset_of_id[jsr] + 4,
+                        };
+                        builder.emit_reloc(
+                            ci.inst,
+                            RelocKind::Gpdisp {
+                                pair_offset: lo_off as i64 - here as i64,
+                                anchor: anchor_off,
+                                gp_group,
+                            },
+                        );
+                    }
+                    Mark::GpdispLo { .. } => {
+                        // The pair is described by the Hi half's relocation.
+                        builder.emit(ci.inst);
+                    }
+                    Mark::BrSym { sym } => {
+                        let id = builder.external(sym);
+                        builder.emit_reloc(ci.inst, RelocKind::BrAddr { sym: id, addend: 0 });
+                    }
+                    Mark::BrLabel { label } => {
+                        let target = *offset_of_label
+                            .get(label)
+                            .unwrap_or_else(|| panic!("dangling label {label:?} in {}", self.name));
+                        let disp = (target as i64 - (here as i64 + 4)) / 4;
+                        let inst = match ci.inst {
+                            Inst::Br { op, ra, .. } => Inst::Br { op, ra, disp: disp as i32 },
+                            other => panic!("BrLabel on non-branch {other}"),
+                        };
+                        builder.emit(inst);
+                    }
+                }
+            }
+        }
+
+        builder.define_proc(&self.name, start, gp_group, self.vis)
+    }
+}
+
+/// Builds [`CFunc`] bodies: allocates ids and labels, tracks the current
+/// block, and splits blocks at labels and control transfers.
+#[derive(Debug)]
+pub struct CodeBuffer {
+    next_id: u32,
+    next_label: u32,
+    blocks: Vec<CBlock>,
+    current: CBlock,
+}
+
+impl Default for CodeBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CodeBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> CodeBuffer {
+        CodeBuffer {
+            next_id: 0,
+            next_label: 0,
+            blocks: Vec::new(),
+            current: CBlock::default(),
+        }
+    }
+
+    /// Reserves a fresh label.
+    pub fn fresh_label(&mut self) -> CLabel {
+        self.next_label += 1;
+        CLabel(self.next_label - 1)
+    }
+
+    /// Reserves an id without emitting (to reference a future instruction).
+    pub fn fresh_id(&mut self) -> u32 {
+        self.next_id += 1;
+        self.next_id - 1
+    }
+
+    /// Emits an instruction with a pre-reserved id.
+    pub fn push_with_id(&mut self, id: u32, inst: Inst, mark: Mark) -> u32 {
+        let ends_block = matches!(
+            inst,
+            Inst::Br { .. } | Inst::Jmp { .. } | Inst::Pal { op: om_alpha::PalOp::Halt }
+        );
+        self.current.insts.push(CInst { id, inst, mark });
+        if ends_block {
+            self.seal();
+        }
+        id
+    }
+
+    /// Emits an instruction, returning its id. Control transfers end the
+    /// current block.
+    pub fn push(&mut self, inst: Inst, mark: Mark) -> u32 {
+        let id = self.fresh_id();
+        self.push_with_id(id, inst, mark)
+    }
+
+    /// Emits an unannotated instruction.
+    pub fn inst(&mut self, inst: Inst) -> u32 {
+        self.push(inst, Mark::None)
+    }
+
+    /// Emits a conditional or unconditional branch to a local label.
+    pub fn branch(&mut self, op: BrOp, ra: Reg, label: CLabel) -> u32 {
+        self.push(Inst::Br { op, ra, disp: 0 }, Mark::BrLabel { label })
+    }
+
+    /// Starts a new block at `label`.
+    pub fn bind(&mut self, label: CLabel) {
+        self.seal();
+        self.current.label = Some(label);
+    }
+
+    fn seal(&mut self) {
+        if self.current.label.is_some() || !self.current.insts.is_empty() {
+            self.blocks.push(std::mem::take(&mut self.current));
+        }
+    }
+
+    /// Finishes the function.
+    pub fn finish(mut self, name: String, vis: Visibility) -> CFunc {
+        self.seal();
+        CFunc { name, vis, blocks: self.blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_alpha::decode_all;
+
+    #[test]
+    fn blocks_split_at_branches_and_labels() {
+        let mut c = CodeBuffer::new();
+        let l = c.fresh_label();
+        c.inst(Inst::nop());
+        c.branch(BrOp::Br, Reg::ZERO, l);
+        c.inst(Inst::nop());
+        c.bind(l);
+        c.inst(Inst::ret());
+        let f = c.finish("f".into(), Visibility::Exported);
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn fixup_resolves_forward_and_backward_branches() {
+        let mut c = CodeBuffer::new();
+        let top = c.fresh_label();
+        c.bind(top);
+        c.inst(Inst::nop());
+        c.branch(BrOp::Bne, Reg::V0, top); // backward: target -3 words from next pc
+        c.inst(Inst::ret());
+        let f = c.finish("loopy".into(), Visibility::Exported);
+
+        let mut b = ModuleBuilder::new("m");
+        f.fixup_into(&mut b, 0);
+        let m = b.finish().unwrap();
+        let insts = decode_all(&m.text).unwrap();
+        match insts[1] {
+            Inst::Br { disp, .. } => assert_eq!(disp, -2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn fixup_emits_literal_and_lituse_relocs() {
+        let mut c = CodeBuffer::new();
+        let load = c.push(
+            Inst::ldq(Reg::PV, 0, Reg::GP),
+            Mark::Literal { sym: "callee".into(), addend: 0 },
+        );
+        c.push(Inst::jsr(Reg::RA, Reg::PV), Mark::LituseJsr { load });
+        c.inst(Inst::ret());
+        let f = c.finish("caller".into(), Visibility::Exported);
+
+        let mut b = ModuleBuilder::new("m");
+        f.fixup_into(&mut b, 0);
+        let m = b.finish().unwrap();
+        assert_eq!(m.lita.len(), 1);
+        assert_eq!(m.relocs.len(), 2);
+        assert!(matches!(m.relocs[0].kind, RelocKind::Literal { lita: 0 }));
+        assert!(matches!(m.relocs[1].kind, RelocKind::LituseJsr { load_offset: 0 }));
+    }
+
+    #[test]
+    fn gpdisp_pair_offsets_follow_instructions() {
+        let mut c = CodeBuffer::new();
+        let lo_id = c.fresh_id();
+        c.push(
+            Inst::ldah(Reg::GP, 0, Reg::PV),
+            Mark::GpdispHi { lo: lo_id, anchor: Anchor::Entry },
+        );
+        // An intervening instruction (as a scheduler might create).
+        c.inst(Inst::nop());
+        c.push_with_id(lo_id, Inst::lda(Reg::GP, 0, Reg::GP), Mark::GpdispLo { hi: 0 });
+        c.inst(Inst::ret());
+        let f = c.finish("p".into(), Visibility::Exported);
+
+        let mut b = ModuleBuilder::new("m");
+        f.fixup_into(&mut b, 0);
+        let m = b.finish().unwrap();
+        match m.relocs[0].kind {
+            RelocKind::Gpdisp { pair_offset, anchor, .. } => {
+                assert_eq!(pair_offset, 8);
+                assert_eq!(anchor, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_function_offsets_are_relative_to_module() {
+        let mut b = ModuleBuilder::new("m");
+        let mut c1 = CodeBuffer::new();
+        c1.inst(Inst::ret());
+        c1.finish("a".into(), Visibility::Exported).fixup_into(&mut b, 0);
+
+        let mut c2 = CodeBuffer::new();
+        let load = c2.push(
+            Inst::ldq(Reg::V0, 0, Reg::GP),
+            Mark::Literal { sym: "g".into(), addend: 0 },
+        );
+        c2.push(Inst::ldq(Reg::V0, 0, Reg::V0), Mark::LituseBase { load });
+        c2.inst(Inst::ret());
+        c2.finish("b".into(), Visibility::Exported).fixup_into(&mut b, 0);
+
+        let m = b.finish().unwrap();
+        // `b` starts at offset 4; its literal load is at 4, the use at 8.
+        assert!(matches!(
+            m.relocs[1].kind,
+            RelocKind::LituseBase { load_offset: 4 }
+        ));
+        let procs = m.procedures();
+        assert_eq!(procs.len(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! The startup module every program links against.
+//!
+//! `__start` is ordinary conservative object code — it derives its GP from PV
+//! (the simulator boots with `PV = entry`), loads `main`'s address from the
+//! GAT, and calls it; `main`'s return value lands in `v0`, which the HALT
+//! PALcall reports as the program result. Because crt0 is a normal module,
+//! OM optimizes the startup call to `main` exactly like any user call.
+//!
+//! `__write_int` wraps the simulator's debug-output PALcall so mini-C code
+//! can declare `extern int __write_int(int);`.
+
+use crate::code::{Anchor, CodeBuffer, Mark};
+use om_alpha::{Inst, PalOp, Reg};
+use om_objfile::{Module, ModuleBuilder, ObjError, Visibility};
+
+/// Builds the crt0 module.
+///
+/// # Errors
+///
+/// Never fails in practice; the signature propagates builder validation.
+pub fn module() -> Result<Module, ObjError> {
+    let mut b = ModuleBuilder::new("crt0");
+
+    // __start
+    let mut c = CodeBuffer::new();
+    let lo = c.fresh_id();
+    c.push(
+        Inst::ldah(Reg::GP, 0, Reg::PV),
+        Mark::GpdispHi { lo, anchor: Anchor::Entry },
+    );
+    c.push_with_id(lo, Inst::lda(Reg::GP, 0, Reg::GP), Mark::GpdispLo { hi: 0 });
+    let load = c.push(
+        Inst::ldq(Reg::PV, 0, Reg::GP),
+        Mark::Literal { sym: "main".into(), addend: 0 },
+    );
+    c.push(Inst::jsr(Reg::RA, Reg::PV), Mark::LituseJsr { load });
+    // main's result is already in v0; stop the machine.
+    c.push(Inst::Pal { op: PalOp::Halt }, Mark::None);
+    c.finish("__start".into(), Visibility::Exported)
+        .fixup_into(&mut b, 0);
+
+    // __write_int(a0): debug output, returns its argument.
+    let mut c = CodeBuffer::new();
+    let lo = c.fresh_id();
+    c.push(
+        Inst::ldah(Reg::GP, 0, Reg::PV),
+        Mark::GpdispHi { lo, anchor: Anchor::Entry },
+    );
+    c.push_with_id(lo, Inst::lda(Reg::GP, 0, Reg::GP), Mark::GpdispLo { hi: 0 });
+    c.push(Inst::Pal { op: PalOp::WriteInt }, Mark::None);
+    c.inst(Inst::mov(Reg::A0, Reg::V0));
+    c.inst(Inst::ret());
+    c.finish("__write_int".into(), Visibility::Exported)
+        .fixup_into(&mut b, 0);
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crt0_is_valid_and_exports_start() {
+        let m = module().unwrap();
+        assert!(m.find_symbol("__start").is_some());
+        assert!(m.find_symbol("__write_int").is_some());
+        assert!(m.find_symbol("main").is_some(), "main as external ref");
+        assert_eq!(m.lita.len(), 1);
+    }
+
+    #[test]
+    fn start_code_decodes() {
+        let m = module().unwrap();
+        let insts = om_alpha::decode_all(&m.text).unwrap();
+        assert!(insts.iter().any(|i| matches!(i, Inst::Pal { op: PalOp::Halt })));
+    }
+}

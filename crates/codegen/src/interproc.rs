@@ -1,0 +1,444 @@
+//! Compile-all mode: monolithic compilation with interprocedural
+//! optimization.
+//!
+//! The paper's "compile-all" builds compile every user source file as one
+//! unit at the compiler's maximum optimization level, which performs
+//! inlining and lets the intra-unit call optimization apply across what used
+//! to be module boundaries — but can do nothing for calls into pre-compiled
+//! libraries. This module reproduces that: [`merge_units`] fuses user ASTs
+//! into one unit (renaming `static` symbols to keep per-file scoping), and
+//! [`inline_small_functions`] substitutes calls to single-expression
+//! functions.
+
+use om_minic::ast::*;
+use std::collections::{HashMap, HashSet};
+
+/// Merges `units` into a single compilation unit named `name`.
+///
+/// `static` functions and globals are renamed `sym$unit` so that identically
+/// named statics in different files keep their own identities, exactly as a
+/// monolithic compiler must do internally.
+pub fn merge_units(name: &str, units: &[Unit]) -> Unit {
+    let mut merged = Unit { name: name.to_string(), ..Unit::default() };
+    let mut defined_fns: HashSet<String> = HashSet::new();
+    let mut defined_globals: HashSet<String> = HashSet::new();
+
+    for unit in units {
+        // Build this unit's static rename map.
+        let mut rename: HashMap<String, String> = HashMap::new();
+        for f in &unit.functions {
+            if f.is_static {
+                rename.insert(f.name.clone(), format!("{}${}", f.name, unit.name));
+            }
+        }
+        for g in &unit.globals {
+            if g.is_static {
+                rename.insert(g.name.clone(), format!("{}${}", g.name, unit.name));
+            }
+        }
+
+        for g in &unit.globals {
+            let mut g = g.clone();
+            g.name = rename.get(&g.name).cloned().unwrap_or(g.name);
+            if let GlobalInit::FnAddr(f) = &mut g.init {
+                if let Some(r) = rename.get(f) {
+                    *f = r.clone();
+                }
+            }
+            defined_globals.insert(g.name.clone());
+            merged.globals.push(g);
+        }
+        for f in &unit.functions {
+            let mut f = f.clone();
+            f.name = rename.get(&f.name).cloned().unwrap_or(f.name);
+            rename_body(&mut f.body, &rename);
+            defined_fns.insert(f.name.clone());
+            merged.functions.push(f);
+        }
+        for e in &unit.extern_fns {
+            merged.extern_fns.push(e.clone());
+        }
+        for e in &unit.extern_globals {
+            merged.extern_globals.push(e.clone());
+        }
+    }
+
+    // Drop extern declarations now satisfied inside the merged unit.
+    merged.extern_fns.retain(|e| !defined_fns.contains(&e.name));
+    merged
+        .extern_globals
+        .retain(|e| !defined_globals.contains(&e.name));
+    merged.extern_fns.dedup_by(|a, b| a.name == b.name);
+    merged.extern_globals.dedup_by(|a, b| a.name == b.name);
+    merged
+}
+
+fn rename_body(body: &mut [Stmt], map: &HashMap<String, String>) {
+    for s in body {
+        rename_stmt(s, map);
+    }
+}
+
+fn rename_stmt(s: &mut Stmt, map: &HashMap<String, String>) {
+    match s {
+        Stmt::Local { init, .. } => rename_expr(init, map),
+        Stmt::Assign { lhs, rhs } => {
+            match lhs {
+                LValue::Var(n) => {
+                    if let Some(r) = map.get(n) {
+                        *n = r.clone();
+                    }
+                }
+                LValue::Index { name, index } => {
+                    if let Some(r) = map.get(name) {
+                        *name = r.clone();
+                    }
+                    rename_expr(index, map);
+                }
+            }
+            rename_expr(rhs, map);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            rename_expr(cond, map);
+            rename_body(then_body, map);
+            rename_body(else_body, map);
+        }
+        Stmt::While { cond, body } => {
+            rename_expr(cond, map);
+            rename_body(body, map);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                rename_stmt(i, map);
+            }
+            rename_expr(cond, map);
+            if let Some(st) = step {
+                rename_stmt(st, map);
+            }
+            rename_body(body, map);
+        }
+        Stmt::Return(Some(e)) => rename_expr(e, map),
+        Stmt::Return(None) => {}
+        Stmt::Expr(e) => rename_expr(e, map),
+    }
+}
+
+fn rename_expr(e: &mut Expr, map: &HashMap<String, String>) {
+    match e {
+        Expr::Var(n) | Expr::AddrOf(n) => {
+            if let Some(r) = map.get(n) {
+                *n = r.clone();
+            }
+        }
+        Expr::Index { name, index } => {
+            if let Some(r) = map.get(name) {
+                *name = r.clone();
+            }
+            rename_expr(index, map);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => rename_expr(expr, map),
+        Expr::Binary { lhs, rhs, .. } => {
+            rename_expr(lhs, map);
+            rename_expr(rhs, map);
+        }
+        Expr::Call { name, args } => {
+            // Local variables shadow functions, but renaming only targets
+            // statics, which cannot be shadowed by our generators; renaming a
+            // call to a renamed static is exactly what we want.
+            if let Some(r) = map.get(name) {
+                *name = r.clone();
+            }
+            for a in args {
+                rename_expr(a, map);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A function is inlinable when its body is a single `return <expr>;` whose
+/// expression mentions each parameter at most once (no duplication of
+/// argument side effects) and contains no calls (keeps growth bounded).
+fn inline_candidate(f: &Function) -> Option<(&[Param], &Expr)> {
+    let [Stmt::Return(Some(e))] = f.body.as_slice() else {
+        return None;
+    };
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let mut has_call = false;
+    count_vars(e, &mut counts, &mut has_call);
+    if has_call {
+        return None;
+    }
+    if f.params.iter().all(|p| counts.get(p.name.as_str()).copied().unwrap_or(0) <= 1) {
+        Some((&f.params, e))
+    } else {
+        None
+    }
+}
+
+fn count_vars<'a>(e: &'a Expr, counts: &mut HashMap<&'a str, usize>, has_call: &mut bool) {
+    match e {
+        Expr::Var(n) => *counts.entry(n).or_insert(0) += 1,
+        Expr::Index { index, .. } => count_vars(index, counts, has_call),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => count_vars(expr, counts, has_call),
+        Expr::Binary { lhs, rhs, .. } => {
+            count_vars(lhs, counts, has_call);
+            count_vars(rhs, counts, has_call);
+        }
+        Expr::Call { args, .. } => {
+            *has_call = true;
+            for a in args {
+                count_vars(a, counts, has_call);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Substitutes parameters by argument expressions in a copy of `body`.
+fn substitute(e: &Expr, env: &HashMap<&str, &Expr>) -> Expr {
+    match e {
+        Expr::Var(n) => env.get(n.as_str()).map(|&a| a.clone()).unwrap_or_else(|| e.clone()),
+        Expr::Index { name, index } => Expr::Index {
+            name: name.clone(),
+            index: Box::new(substitute(index, env)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(substitute(expr, env)) },
+        Expr::Cast { ty, expr } => Expr::Cast { ty: *ty, expr: Box::new(substitute(expr, env)) },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(substitute(lhs, env)),
+            rhs: Box::new(substitute(rhs, env)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Inlines calls to single-expression functions throughout the unit.
+/// Repeats until no call is replaced (bounded by `rounds`). Returns the
+/// number of calls inlined.
+pub fn inline_small_functions(unit: &mut Unit, rounds: usize) -> usize {
+    let mut total = 0;
+    for _ in 0..rounds {
+        // Snapshot candidates (name → (params, body expr)).
+        let candidates: HashMap<String, (Vec<Param>, Expr)> = unit
+            .functions
+            .iter()
+            .filter_map(|f| {
+                inline_candidate(f).map(|(p, e)| (f.name.clone(), (p.to_vec(), e.clone())))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return total;
+        }
+        // Globals of fnptr type shadow function names at call sites; skip
+        // candidates whose name collides with a global.
+        let globals: HashSet<&str> = unit.globals.iter().map(|g| g.name.as_str()).collect();
+
+        let mut inlined = 0;
+        for f in &mut unit.functions {
+            // No self-inlining (candidates contain no calls, so a candidate
+            // cannot be recursive anyway).
+            for s in &mut f.body {
+                inline_stmt(s, &candidates, &globals, &mut inlined);
+            }
+        }
+        total += inlined;
+        if inlined == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn inline_stmt(
+    s: &mut Stmt,
+    c: &HashMap<String, (Vec<Param>, Expr)>,
+    globals: &HashSet<&str>,
+    n: &mut usize,
+) {
+    match s {
+        Stmt::Local { init, .. } => inline_expr(init, c, globals, n),
+        Stmt::Assign { lhs, rhs } => {
+            if let LValue::Index { index, .. } = lhs {
+                inline_expr(index, c, globals, n);
+            }
+            inline_expr(rhs, c, globals, n);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            inline_expr(cond, c, globals, n);
+            for t in then_body {
+                inline_stmt(t, c, globals, n);
+            }
+            for t in else_body {
+                inline_stmt(t, c, globals, n);
+            }
+        }
+        Stmt::While { cond, body } => {
+            inline_expr(cond, c, globals, n);
+            for t in body {
+                inline_stmt(t, c, globals, n);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                inline_stmt(i, c, globals, n);
+            }
+            inline_expr(cond, c, globals, n);
+            if let Some(st) = step {
+                inline_stmt(st, c, globals, n);
+            }
+            for t in body {
+                inline_stmt(t, c, globals, n);
+            }
+        }
+        Stmt::Return(Some(e)) => inline_expr(e, c, globals, n),
+        Stmt::Return(None) => {}
+        Stmt::Expr(e) => inline_expr(e, c, globals, n),
+    }
+}
+
+fn inline_expr(
+    e: &mut Expr,
+    c: &HashMap<String, (Vec<Param>, Expr)>,
+    globals: &HashSet<&str>,
+    n: &mut usize,
+) {
+    // Recurse first so nested calls inline bottom-up.
+    match e {
+        Expr::Index { index, .. } => inline_expr(index, c, globals, n),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => inline_expr(expr, c, globals, n),
+        Expr::Binary { lhs, rhs, .. } => {
+            inline_expr(lhs, c, globals, n);
+            inline_expr(rhs, c, globals, n);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                inline_expr(a, c, globals, n);
+            }
+        }
+        _ => {}
+    }
+    if let Expr::Call { name, args } = e {
+        if globals.contains(name.as_str()) {
+            return; // indirect call through a fnptr global
+        }
+        if let Some((params, body)) = c.get(name) {
+            if params.len() == args.len() {
+                // Wrap arguments in casts to the parameter types so the
+                // inlined expression keeps call-boundary conversions.
+                let cast_args: Vec<Expr> = params
+                    .iter()
+                    .zip(args.iter())
+                    .map(|(p, a)| Expr::Cast { ty: p.ty, expr: Box::new(a.clone()) })
+                    .collect();
+                let env: HashMap<&str, &Expr> = params
+                    .iter()
+                    .map(|p| p.name.as_str())
+                    .zip(cast_args.iter())
+                    .collect();
+                *e = substitute(body, &env);
+                *n += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_minic::interp::run_sources;
+    use om_minic::{lower_unit, parse_unit};
+
+    #[test]
+    fn statics_are_renamed_and_scoped() {
+        let a = parse_unit(
+            "a",
+            "extern int helper(int); static int tweak(int x) { return x + 1; } int main() { return helper(tweak(1)); }",
+        )
+        .unwrap();
+        let b = parse_unit(
+            "b",
+            "static int tweak(int x) { return x * 10; } int helper(int x) { return tweak(x); }",
+        )
+        .unwrap();
+        let merged = merge_units("all", &[a.clone(), b.clone()]);
+        assert!(merged.functions.iter().any(|f| f.name == "tweak$a"));
+        assert!(merged.functions.iter().any(|f| f.name == "tweak$b"));
+
+        // Behavior must match separate compilation.
+        let separate = run_sources(
+            &[
+                ("a", "extern int helper(int); static int tweak(int x) { return x + 1; } int main() { return helper(tweak(1)); }"),
+                ("b", "static int tweak(int x) { return x * 10; } int helper(int x) { return tweak(x); }"),
+            ],
+            100_000,
+        )
+        .unwrap();
+        let ir = lower_unit(&merged).unwrap();
+        let mut p = om_minic::interp::Program::new(std::slice::from_ref(&ir));
+        assert_eq!(p.run_main(100_000).unwrap(), separate);
+    }
+
+    #[test]
+    fn small_functions_inline() {
+        let mut u = parse_unit(
+            "m",
+            "int dbl(int x) { return x * 2; }\n\
+             int main() { return dbl(10) + dbl(11); }",
+        )
+        .unwrap();
+        let n = inline_small_functions(&mut u, 4);
+        assert_eq!(n, 2);
+        // main no longer calls dbl.
+        let ir = lower_unit(&u).unwrap();
+        let main = ir.functions.iter().find(|f| f.name == "main").unwrap();
+        assert!(!main
+            .body
+            .iter()
+            .any(|i| matches!(i, om_minic::ir::Ir::Call { name, .. } if name == "dbl")));
+        let mut p = om_minic::interp::Program::new(std::slice::from_ref(&ir));
+        assert_eq!(p.run_main(100_000).unwrap(), 42);
+    }
+
+    #[test]
+    fn repeated_parameter_bodies_do_not_inline() {
+        let mut u = parse_unit(
+            "m",
+            "int sq(int x) { return x * x; }\n\
+             int main() { return sq(5); }",
+        )
+        .unwrap();
+        assert_eq!(inline_small_functions(&mut u, 4), 0);
+    }
+
+    #[test]
+    fn inlining_preserves_conversions() {
+        let src = "float half(int x) { return x / 2; }\n\
+                   int main() { return int(half(9) * 10.0); }";
+        let baseline = run_sources(&[("m", src)], 100_000).unwrap();
+        let mut u = parse_unit("m", src).unwrap();
+        inline_small_functions(&mut u, 4);
+        let ir = lower_unit(&u).unwrap();
+        let mut p = om_minic::interp::Program::new(std::slice::from_ref(&ir));
+        assert_eq!(p.run_main(100_000).unwrap(), baseline);
+    }
+
+    #[test]
+    fn chained_inlines_converge() {
+        let mut u = parse_unit(
+            "m",
+            "int a(int x) { return x + 1; }\n\
+             int b(int x) { return a(x) + 2; }\n\
+             int main() { return b(10); }",
+        )
+        .unwrap();
+        // Round 1: a() inlines everywhere (b becomes x+1+2 and main b(10)).
+        // Round 2: b is now call-free and single-return → inlines into main.
+        let n = inline_small_functions(&mut u, 4);
+        assert!(n >= 2, "inlined {n}");
+        let ir = lower_unit(&u).unwrap();
+        let main = ir.functions.iter().find(|f| f.name == "main").unwrap();
+        assert!(!main.body.iter().any(|i| matches!(i, om_minic::ir::Ir::Call { .. })));
+    }
+}

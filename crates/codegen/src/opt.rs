@@ -1,0 +1,335 @@
+//! `-O2`-style local IR optimizations: constant folding, copy propagation,
+//! algebraic simplification, and dead-code elimination.
+//!
+//! These run per extended straight-line region (state resets at labels and
+//! after terminators), which matches the paper's setup: the input to OM was
+//! produced by compilers doing "intraprocedural global optimization".
+
+use om_minic::interp::{div_convention, rem_convention};
+use om_minic::ir::*;
+use std::collections::HashMap;
+
+/// Optimizes one function in place; returns the number of instructions
+/// removed.
+pub fn optimize(f: &mut IrFunction) -> usize {
+    let before = f.body.len();
+    fold_and_propagate(f);
+    eliminate_dead(f);
+    before - f.body.len()
+}
+
+/// Known value of a vreg within a region.
+#[derive(Clone, Copy, PartialEq)]
+enum Known {
+    ConstI(i64),
+    ConstF(f64),
+    Copy(VReg),
+}
+
+fn resolve(env: &HashMap<VReg, Known>, v: Val) -> Val {
+    match v {
+        Val::R(r) => match env.get(&r) {
+            Some(Known::ConstI(c)) => Val::I(*c),
+            Some(Known::ConstF(c)) => Val::F(*c),
+            Some(Known::Copy(s)) => Val::R(*s),
+            None => v,
+        },
+        other => other,
+    }
+}
+
+fn fold_ibin(op: IBin, a: i64, b: i64) -> i64 {
+    match op {
+        IBin::Add => a.wrapping_add(b),
+        IBin::Sub => a.wrapping_sub(b),
+        IBin::Mul => a.wrapping_mul(b),
+        IBin::And => a & b,
+        IBin::Or => a | b,
+        IBin::Xor => a ^ b,
+        IBin::Shl => a.wrapping_shl((b & 63) as u32),
+        IBin::Shr => a.wrapping_shr((b & 63) as u32),
+    }
+}
+
+fn fold_cmp_i(op: Cmp, a: i64, b: i64) -> i64 {
+    (match op {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+        Cmp::Gt => a > b,
+        Cmp::Ge => a >= b,
+    }) as i64
+}
+
+fn fold_and_propagate(f: &mut IrFunction) {
+    let mut env: HashMap<VReg, Known> = HashMap::new();
+    // A def invalidates any copies of the defined register.
+    let kill = |env: &mut HashMap<VReg, Known>, d: VReg| {
+        env.remove(&d);
+        env.retain(|_, k| !matches!(k, Known::Copy(s) if *s == d));
+    };
+
+    let body = std::mem::take(&mut f.body);
+    let mut out: Vec<Ir> = Vec::with_capacity(body.len());
+
+    for mut inst in body {
+        // Region boundaries: labels are join points; calls do not reset
+        // register knowledge (they cannot write vregs other than their dst).
+        if matches!(inst, Ir::Label(_)) {
+            env.clear();
+            out.push(inst);
+            continue;
+        }
+
+        // Rewrite operands through the environment.
+        match &mut inst {
+            Ir::BinI { a, b, .. } | Ir::CmpI { a, b, .. } | Ir::BinF { a, b, .. } | Ir::CmpF { a, b, .. } => {
+                *a = resolve(&env, *a);
+                *b = resolve(&env, *b);
+            }
+            Ir::MovI { src, .. }
+            | Ir::MovF { src, .. }
+            | Ir::CvtIF { src, .. }
+            | Ir::CvtFI { src, .. }
+            | Ir::StGlobal { src, .. } => *src = resolve(&env, *src),
+            Ir::LdElem { index, .. } => *index = resolve(&env, *index),
+            Ir::StElem { index, src, .. } => {
+                *index = resolve(&env, *index);
+                *src = resolve(&env, *src);
+            }
+            Ir::Call { args, .. } => {
+                for a in args {
+                    *a = resolve(&env, *a);
+                }
+            }
+            Ir::CallInd { target, args, .. } => {
+                if let Val::R(t) = resolve(&env, Val::R(*target)) {
+                    *target = t;
+                }
+                for a in args {
+                    *a = resolve(&env, *a);
+                }
+            }
+            Ir::Branch { cond, .. } => {
+                if let Val::R(c) = resolve(&env, Val::R(*cond)) {
+                    *cond = c;
+                }
+            }
+            Ir::Ret(Some(v)) => *v = resolve(&env, *v),
+            _ => {}
+        }
+
+        // Fold and simplify.
+        let replacement = match &inst {
+            Ir::BinI { op, dst, a: Val::I(a), b: Val::I(b) } => {
+                Some(Ir::MovI { dst: *dst, src: Val::I(fold_ibin(*op, *a, *b)) })
+            }
+            Ir::BinI { op, dst, a, b } => match (op, a, b) {
+                (IBin::Add | IBin::Sub | IBin::Or | IBin::Xor | IBin::Shl | IBin::Shr, a, Val::I(0)) => {
+                    Some(Ir::MovI { dst: *dst, src: *a })
+                }
+                (IBin::Add | IBin::Or | IBin::Xor, Val::I(0), b) => {
+                    Some(Ir::MovI { dst: *dst, src: *b })
+                }
+                (IBin::Mul, a, Val::I(1)) => Some(Ir::MovI { dst: *dst, src: *a }),
+                (IBin::Mul, Val::I(1), b) => Some(Ir::MovI { dst: *dst, src: *b }),
+                (IBin::Mul | IBin::And, _, Val::I(0)) => {
+                    Some(Ir::MovI { dst: *dst, src: Val::I(0) })
+                }
+                (IBin::Mul | IBin::And, Val::I(0), _) => {
+                    Some(Ir::MovI { dst: *dst, src: Val::I(0) })
+                }
+                _ => None,
+            },
+            Ir::CmpI { op, dst, a: Val::I(a), b: Val::I(b) } => {
+                Some(Ir::MovI { dst: *dst, src: Val::I(fold_cmp_i(*op, *a, *b)) })
+            }
+            Ir::CvtIF { dst, src: Val::I(c) } => {
+                Some(Ir::MovF { dst: *dst, src: Val::F(*c as f64) })
+            }
+            Ir::CvtFI { dst, src: Val::F(c) } => {
+                Some(Ir::MovI { dst: *dst, src: Val::I(*c as i64) })
+            }
+            // Division by constants still calls the millicode (matching what
+            // the DEC compiler did for general operands), but fully-constant
+            // divisions fold.
+            Ir::Call { dst: Some(dst), name, args }
+                if (name == "__divq" || name == "__remq")
+                    && matches!(args.as_slice(), [Val::I(_), Val::I(_)]) =>
+            {
+                let (Val::I(a), Val::I(b)) = (args[0], args[1]) else { unreachable!() };
+                let v = if name == "__divq" {
+                    div_convention(a, b)
+                } else {
+                    rem_convention(a, b)
+                };
+                Some(Ir::MovI { dst: *dst, src: Val::I(v) })
+            }
+            _ => None,
+        };
+        let inst = replacement.unwrap_or(inst);
+
+        // Update the environment.
+        match &inst {
+            Ir::MovI { dst, src } => {
+                kill(&mut env, *dst);
+                match src {
+                    Val::I(c) => {
+                        env.insert(*dst, Known::ConstI(*c));
+                    }
+                    Val::R(s) if s != dst => {
+                        env.insert(*dst, Known::Copy(*s));
+                    }
+                    _ => {}
+                }
+            }
+            Ir::MovF { dst, src } => {
+                kill(&mut env, *dst);
+                match src {
+                    Val::F(c) => {
+                        env.insert(*dst, Known::ConstF(*c));
+                    }
+                    Val::R(s) if s != dst => {
+                        env.insert(*dst, Known::Copy(*s));
+                    }
+                    _ => {}
+                }
+            }
+            other => {
+                if let Some(d) = other.dst() {
+                    kill(&mut env, d);
+                }
+            }
+        }
+
+        let terminator = inst.is_terminator();
+        out.push(inst);
+        if terminator {
+            env.clear();
+        }
+    }
+    f.body = out;
+}
+
+/// Removes instructions whose results are never used anywhere in the
+/// function and which have no side effects. Iterates to a fixpoint.
+fn eliminate_dead(f: &mut IrFunction) {
+    loop {
+        let mut used: HashMap<VReg, usize> = HashMap::new();
+        for inst in &f.body {
+            for u in inst.uses() {
+                if let Val::R(r) = u {
+                    *used.entry(r).or_insert(0) += 1;
+                }
+            }
+        }
+        let before = f.body.len();
+        f.body.retain(|inst| {
+            let pure = matches!(
+                inst,
+                Ir::BinI { .. }
+                    | Ir::BinF { .. }
+                    | Ir::CmpI { .. }
+                    | Ir::CmpF { .. }
+                    | Ir::MovI { .. }
+                    | Ir::MovF { .. }
+                    | Ir::CvtIF { .. }
+                    | Ir::CvtFI { .. }
+                    | Ir::LdGlobal { .. }
+                    | Ir::LdFnAddr { .. }
+            );
+            if !pure {
+                return true;
+            }
+            match inst.dst() {
+                Some(d) => used.get(&d).copied().unwrap_or(0) > 0,
+                None => true,
+            }
+        });
+        if f.body.len() == before {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_minic::{lower_unit, parse_unit};
+
+    fn opt_fn(src: &str) -> IrFunction {
+        let unit = lower_unit(&parse_unit("t", src).unwrap()).unwrap();
+        let mut f = unit.functions.into_iter().next().unwrap();
+        optimize(&mut f);
+        f
+    }
+
+    #[test]
+    fn constants_fold_through() {
+        let f = opt_fn("int f() { int a = 2 * 8; int b = a + 1; return b; }");
+        // Everything folds to `return 17`.
+        assert!(matches!(f.body.last(), Some(Ir::Ret(Some(Val::I(17))))));
+        assert!(!f.body.iter().any(|i| matches!(i, Ir::BinI { .. })));
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let f = opt_fn("int f(int x) { return (x + 0) * 1; }");
+        assert!(!f.body.iter().any(|i| matches!(i, Ir::BinI { .. })));
+    }
+
+    #[test]
+    fn copies_propagate() {
+        let f = opt_fn("int f(int x) { int y = x; int z = y; return z + z; }");
+        // The adds should reference x (param v0) directly.
+        let Some(Ir::BinI { a, b, .. }) = f.body.iter().find(|i| matches!(i, Ir::BinI { .. }))
+        else {
+            panic!("expected one add");
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_division_folds() {
+        let f = opt_fn("int f() { return 17 / 5 + 17 % 5; }");
+        assert!(!f.body.iter().any(|i| matches!(i, Ir::Call { .. })));
+        assert!(matches!(f.body.last(), Some(Ir::Ret(Some(Val::I(5))))));
+    }
+
+    #[test]
+    fn dead_loads_removed_but_calls_kept() {
+        let f = opt_fn(
+            "int g; int side(int x) { g = x; return x; }\n",
+        );
+        let _ = f;
+        let f = opt_fn(
+            "int g; int f(int x) { int dead = g; int live = side(x); return x; } int side(int x) { g = x; return x; }",
+        );
+        assert!(
+            !f.body.iter().any(|i| matches!(i, Ir::LdGlobal { .. })),
+            "dead global load should vanish"
+        );
+        assert!(
+            f.body.iter().any(|i| matches!(i, Ir::Call { .. })),
+            "call with side effects must stay"
+        );
+    }
+
+    #[test]
+    fn knowledge_resets_at_labels() {
+        // After the loop label, `i` is not constant even though it started 0.
+        let f = opt_fn(
+            "int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }",
+        );
+        assert!(f.body.iter().any(|i| matches!(i, Ir::BinI { op: IBin::Add, .. })));
+        assert!(f.body.iter().any(|i| matches!(i, Ir::CmpI { .. })));
+    }
+
+    #[test]
+    fn branch_conditions_propagate_copies() {
+        let f = opt_fn("int f(int x) { int c = x; if (c) { return 1; } return 2; }");
+        // The branch should test the parameter directly; the copy is dead.
+        assert!(!f.body.iter().any(|i| matches!(i, Ir::MovI { .. })));
+    }
+}

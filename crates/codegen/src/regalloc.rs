@@ -1,0 +1,419 @@
+//! Liveness analysis and linear-scan register allocation over the IR.
+//!
+//! Virtual registers get either a physical register or a frame slot. Values
+//! live across a call are restricted to callee-saved registers (or spilled),
+//! so the emitted code needs no caller-save traffic around call sites — the
+//! shape DEC's `-O2` produced and the shape OM expects to see.
+
+use om_alpha::Reg;
+use om_minic::ir::{Class, Ir, IrFunction, Label, VReg};
+use std::collections::{HashMap, HashSet};
+
+/// Where a virtual register lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A physical register (integer or FP depending on the vreg's class).
+    Reg(Reg),
+    /// Frame spill slot `n` (8 bytes each).
+    Slot(u32),
+}
+
+/// Integer caller-saved allocatable registers.
+pub const INT_CALLER: [u8; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 22, 23, 24];
+/// Integer callee-saved allocatable registers (`s0`–`s5` and `r15`).
+pub const INT_CALLEE: [u8; 7] = [9, 10, 11, 12, 13, 14, 15];
+/// FP caller-saved allocatable registers.
+pub const FP_CALLER: [u8; 13] = [1, 10, 11, 12, 13, 14, 15, 22, 23, 24, 25, 26, 27];
+/// FP callee-saved allocatable registers.
+pub const FP_CALLEE: [u8; 8] = [2, 3, 4, 5, 6, 7, 8, 9];
+
+/// The allocation result for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    int_loc: HashMap<u32, Loc>,
+    fp_loc: HashMap<u32, Loc>,
+    /// Callee-saved integer registers the function must save/restore.
+    pub saved_int: Vec<Reg>,
+    /// Callee-saved FP registers the function must save/restore.
+    pub saved_fp: Vec<Reg>,
+    /// Number of 8-byte spill slots.
+    pub n_slots: u32,
+    /// True if the function contains any call.
+    pub has_call: bool,
+}
+
+impl Allocation {
+    /// The location of a virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics for vregs not in the allocated function.
+    pub fn loc(&self, v: VReg) -> Loc {
+        match v.class {
+            Class::Int => self.int_loc[&v.id],
+            Class::Fp => self.fp_loc[&v.id],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    class: Class,
+    id: u32,
+}
+
+fn key(v: VReg) -> Key {
+    Key { class: v.class, id: v.id }
+}
+
+struct BlockInfo {
+    start: usize,
+    end: usize, // exclusive
+    succs: Vec<usize>,
+}
+
+fn build_blocks(body: &[Ir]) -> (Vec<BlockInfo>, HashMap<Label, usize>) {
+    // Block leaders: position 0, labels, instruction after a terminator.
+    let mut leaders: HashSet<usize> = HashSet::new();
+    leaders.insert(0);
+    for (i, inst) in body.iter().enumerate() {
+        match inst {
+            Ir::Label(_) => {
+                leaders.insert(i);
+            }
+            t if t.is_terminator() => {
+                leaders.insert(i + 1);
+            }
+            _ => {}
+        }
+    }
+    let mut starts: Vec<usize> = leaders.into_iter().filter(|&i| i < body.len()).collect();
+    starts.sort_unstable();
+
+    let mut label_block: HashMap<Label, usize> = HashMap::new();
+    let mut blocks: Vec<BlockInfo> = Vec::with_capacity(starts.len());
+    for (bi, &s) in starts.iter().enumerate() {
+        let e = starts.get(bi + 1).copied().unwrap_or(body.len());
+        if let Ir::Label(l) = body[s] {
+            label_block.insert(l, bi);
+        }
+        blocks.push(BlockInfo { start: s, end: e, succs: Vec::new() });
+    }
+    for bi in 0..blocks.len() {
+        let last = blocks[bi].end - 1;
+        let mut succs = Vec::new();
+        match &body[last] {
+            Ir::Jump(l) => succs.push(label_block[l]),
+            Ir::Branch { target, .. } => {
+                succs.push(label_block[target]);
+                if bi + 1 < blocks.len() {
+                    succs.push(bi + 1);
+                }
+            }
+            Ir::Ret(_) => {}
+            _ => {
+                if bi + 1 < blocks.len() {
+                    succs.push(bi + 1);
+                }
+            }
+        }
+        blocks[bi].succs = succs;
+    }
+    (blocks, label_block)
+}
+
+/// Allocates registers for `f`.
+pub fn allocate(f: &IrFunction) -> Allocation {
+    let body = &f.body;
+    let (blocks, _) = build_blocks(body);
+
+    // Per-block upward-exposed uses (gen) and defs (kill).
+    let n = blocks.len();
+    let mut gen: Vec<HashSet<Key>> = vec![HashSet::new(); n];
+    let mut kill: Vec<HashSet<Key>> = vec![HashSet::new(); n];
+    for (bi, b) in blocks.iter().enumerate() {
+        for inst in &body[b.start..b.end] {
+            for u in inst.uses() {
+                if let Some(r) = u.reg() {
+                    if !kill[bi].contains(&key(r)) {
+                        gen[bi].insert(key(r));
+                    }
+                }
+            }
+            if let Some(d) = inst.dst() {
+                kill[bi].insert(key(d));
+            }
+        }
+    }
+
+    // Iterate live-out to fixpoint.
+    let mut live_out: Vec<HashSet<Key>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let mut out: HashSet<Key> = HashSet::new();
+            for &s in &blocks[bi].succs {
+                // live-in(s) = gen(s) ∪ (live-out(s) − kill(s))
+                out.extend(gen[s].iter().copied());
+                out.extend(live_out[s].difference(&kill[s]).copied());
+            }
+            if out.len() != live_out[bi].len() || !out.is_subset(&live_out[bi]) {
+                live_out[bi] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Intervals in doubled coordinates so calls can be ordered between a
+    // value's last pre-call use and its post-call definition: instruction
+    // `i` reads operands at `2i` and writes its result at `2i + 1`; a call
+    // at `i` clobbers caller-saved state at `2i + 1`. Parameters are defined
+    // at entry (`-1`).
+    let mut start: HashMap<Key, i64> = HashMap::new();
+    let mut end: HashMap<Key, i64> = HashMap::new();
+    let extend = |k: Key, p: i64, start: &mut HashMap<Key, i64>, end: &mut HashMap<Key, i64>| {
+        start.entry(k).and_modify(|s| *s = (*s).min(p)).or_insert(p);
+        end.entry(k).and_modify(|e| *e = (*e).max(p)).or_insert(p);
+    };
+    for (bi, b) in blocks.iter().enumerate() {
+        let mut live = live_out[bi].clone();
+        for i in (b.start..b.end).rev() {
+            // Everything live after instruction i spans its write point.
+            for &k in &live {
+                extend(k, 2 * i as i64 + 1, &mut start, &mut end);
+            }
+            if let Some(d) = body[i].dst() {
+                live.remove(&key(d));
+                extend(key(d), 2 * i as i64 + 1, &mut start, &mut end);
+            }
+            for u in body[i].uses() {
+                if let Some(r) = u.reg() {
+                    live.insert(key(r));
+                    extend(key(r), 2 * i as i64, &mut start, &mut end);
+                }
+            }
+            // Everything live into instruction i spans its read point.
+            for &k in &live {
+                extend(k, 2 * i as i64, &mut start, &mut end);
+            }
+        }
+    }
+    // Parameters are defined at entry, before any instruction.
+    for &p in &f.params {
+        extend(key(p), -1, &mut start, &mut end);
+    }
+
+    // Call clobber points.
+    let call_pos: Vec<i64> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, Ir::Call { .. } | Ir::CallInd { .. }))
+        .map(|(p, _)| 2 * p as i64 + 1)
+        .collect();
+    let has_call = !call_pos.is_empty();
+
+    let crosses_call = |k: Key| -> bool {
+        let (s, e) = (start[&k], end[&k]);
+        call_pos.iter().any(|&p| s < p && p < e)
+    };
+
+    // Linear scan, separately per class.
+    let mut alloc = Allocation {
+        int_loc: HashMap::new(),
+        fp_loc: HashMap::new(),
+        saved_int: Vec::new(),
+        saved_fp: Vec::new(),
+        n_slots: 0,
+        has_call,
+    };
+
+    for class in [Class::Int, Class::Fp] {
+        let (caller, callee): (&[u8], &[u8]) = match class {
+            Class::Int => (&INT_CALLER, &INT_CALLEE),
+            Class::Fp => (&FP_CALLER, &FP_CALLEE),
+        };
+        let mut intervals: Vec<(Key, i64, i64)> = start
+            .keys()
+            .filter(|k| k.class == class)
+            .map(|&k| (k, start[&k], end[&k]))
+            .collect();
+        intervals.sort_by_key(|&(_, s, _)| s);
+
+        // active: (end, key, reg)
+        let mut active: Vec<(i64, Key, u8)> = Vec::new();
+        let mut free_caller: Vec<u8> = caller.iter().rev().copied().collect();
+        let mut free_callee: Vec<u8> = callee.iter().rev().copied().collect();
+        let mut used_callee: HashSet<u8> = HashSet::new();
+
+        for (k, s, e) in intervals {
+            // Expire.
+            active.retain(|&(ae, _, r)| {
+                if ae < s {
+                    if caller.contains(&r) {
+                        free_caller.push(r);
+                    } else {
+                        free_callee.push(r);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+
+            let need_callee = crosses_call(k);
+            let reg = if need_callee {
+                free_callee.pop()
+            } else {
+                free_caller.pop().or_else(|| free_callee.pop())
+            };
+
+            let loc = match reg {
+                Some(r) => {
+                    if callee.contains(&r) {
+                        used_callee.insert(r);
+                    }
+                    active.push((e, k, r));
+                    Loc::Reg(Reg::new(r))
+                }
+                None => {
+                    let slot = alloc.n_slots;
+                    alloc.n_slots += 1;
+                    Loc::Slot(slot)
+                }
+            };
+            match class {
+                Class::Int => {
+                    alloc.int_loc.insert(k.id, loc);
+                }
+                Class::Fp => {
+                    alloc.fp_loc.insert(k.id, loc);
+                }
+            }
+        }
+
+        let mut used: Vec<Reg> = used_callee.into_iter().map(Reg::new).collect();
+        used.sort_by_key(|r| r.number());
+        match class {
+            Class::Int => alloc.saved_int = used,
+            Class::Fp => alloc.saved_fp = used,
+        }
+    }
+
+    // Vregs never mentioned (dead params of unused ids) need a location too.
+    for id in 0..f.n_int {
+        alloc.int_loc.entry(id).or_insert(Loc::Reg(Reg::new(INT_CALLER[0])));
+    }
+    for id in 0..f.n_fp {
+        alloc.fp_loc.entry(id).or_insert(Loc::Reg(Reg::new(FP_CALLER[0])));
+    }
+
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_minic::{lower_unit, parse_unit};
+
+    fn alloc_of(src: &str, fname: &str) -> (IrFunction, Allocation) {
+        let unit = lower_unit(&parse_unit("t", src).unwrap()).unwrap();
+        let f = unit
+            .functions
+            .into_iter()
+            .find(|f| f.name == fname)
+            .expect("function");
+        let a = allocate(&f);
+        (f, a)
+    }
+
+    #[test]
+    fn simple_function_uses_caller_saved_only() {
+        let (f, a) = alloc_of("int f(int x, int y) { return x * y + x; }", "f");
+        assert!(!a.has_call);
+        assert!(a.saved_int.is_empty());
+        assert_eq!(a.n_slots, 0);
+        for &p in &f.params {
+            assert!(matches!(a.loc(p), Loc::Reg(_)));
+        }
+    }
+
+    #[test]
+    fn values_across_calls_get_callee_saved() {
+        let (f, a) = alloc_of(
+            "int g(int x) { return x; }\n\
+             int f(int x) { int a = x + 1; int b = g(a); return a + b; }",
+            "f",
+        );
+        assert!(a.has_call);
+        // `a` lives across the call to g: must be callee-saved, so the
+        // function saves at least one s-register.
+        assert!(!a.saved_int.is_empty());
+        let _ = f;
+    }
+
+    #[test]
+    fn distinct_live_vregs_get_distinct_registers() {
+        let src = "int f(int a, int b, int c, int d) { return (a+b) * (c+d) + a*b + c*d + a*d; }";
+        let (f, a) = alloc_of(src, "f");
+        // All four params are live simultaneously; their registers must differ.
+        let mut regs: Vec<Reg> = f
+            .params
+            .iter()
+            .map(|&p| match a.loc(p) {
+                Loc::Reg(r) => r,
+                Loc::Slot(_) => panic!("unexpected spill"),
+            })
+            .collect();
+        regs.sort_by_key(|r| r.number());
+        regs.dedup();
+        assert_eq!(regs.len(), 4);
+    }
+
+    #[test]
+    fn loop_variables_stay_live_across_the_loop() {
+        let src = "int f(int n) {\n\
+                     int s = 0; int i = 0;\n\
+                     for (i = 0; i < n; i = i + 1) { s = s + i; }\n\
+                     return s;\n\
+                   }";
+        let (f, a) = alloc_of(src, "f");
+        // s and i and n are all registers, all distinct.
+        let locs: HashSet<_> = (0..f.n_int)
+            .map(|id| a.loc(VReg { id, class: Class::Int }))
+            .collect();
+        assert!(locs.len() >= 3);
+    }
+
+    #[test]
+    fn heavy_pressure_spills() {
+        // 25 simultaneously-live integer values exceed the 18 allocatable
+        // integer registers.
+        let mut src = String::from("int f(int x) {\n");
+        for i in 0..25 {
+            src.push_str(&format!("int v{i} = x + {i};\n"));
+        }
+        src.push_str("return ");
+        for i in 0..25 {
+            if i > 0 {
+                src.push('+');
+            }
+            src.push_str(&format!("v{i}*v{i}"));
+        }
+        src.push_str(";\n}");
+        let (_, a) = alloc_of(&src, "f");
+        assert!(a.n_slots > 0, "expected spills under pressure");
+    }
+
+    #[test]
+    fn fp_and_int_pools_are_independent() {
+        let (f, a) = alloc_of(
+            "float f(float x, int n) { return x * float(n); }",
+            "f",
+        );
+        let fp_param = f.params[0];
+        let int_param = f.params[1];
+        assert!(matches!(a.loc(fp_param), Loc::Reg(_)));
+        assert!(matches!(a.loc(int_param), Loc::Reg(_)));
+    }
+}

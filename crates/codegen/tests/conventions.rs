@@ -1,0 +1,202 @@
+//! The compiled code must exhibit the paper's §2 conventions *exactly*:
+//! Figure 1's calling sequence and Figure 2's global-variable access are
+//! checked structurally against the emitted object code and its relocations.
+
+use om_alpha::{decode_all, BrOp, Inst, JmpOp, MemOp, Reg};
+use om_codegen::{compile_source, CompileOpts};
+use om_objfile::{Module, RelocKind, SymbolDef};
+
+fn compile(src: &str) -> Module {
+    compile_source("m", src, &CompileOpts::o2()).unwrap()
+}
+
+fn proc_insts(m: &Module, name: &str) -> Vec<Inst> {
+    let id = m.find_symbol(name).unwrap();
+    let SymbolDef::Proc { offset, size, .. } = m.symbol(id).def else { panic!() };
+    decode_all(&m.text[offset as usize..(offset + size) as usize]).unwrap()
+}
+
+#[test]
+fn figure1_entry_gp_establishment() {
+    // "The routine on the left sets its GP on entry ... it computes the GP
+    // from the value of the PV register."
+    let m = compile("int g; int f(int x) { g = g + x; return g; }");
+    let insts = proc_insts(&m, "f");
+    let ldah = insts
+        .iter()
+        .find(|i| matches!(i, Inst::Mem { op: MemOp::Ldah, ra, rb, .. } if *ra == Reg::GP && *rb == Reg::PV))
+        .expect("ldah gp, hi(pv) somewhere in the prologue region");
+    let _ = ldah;
+    // And it carries a GPDISP relocation anchored at the entry.
+    let id = m.find_symbol("f").unwrap();
+    let SymbolDef::Proc { offset, .. } = m.symbol(id).def else { panic!() };
+    assert!(
+        m.text_relocs().any(|r| matches!(
+            r.kind,
+            RelocKind::Gpdisp { anchor, .. } if anchor == offset
+        )),
+        "entry GPDISP must anchor at the procedure entry"
+    );
+}
+
+#[test]
+fn figure1_call_sequence_and_after_call_reset() {
+    // Call site: ldq pv, lit(gp); jsr ra, (pv); then ldah gp, hi(ra) + lda.
+    let m = compile(
+        "extern int callee(int);
+         int f(int x) { return callee(x) + 1; }",
+    );
+    let insts = proc_insts(&m, "f");
+    let jsr_at = insts
+        .iter()
+        .position(|i| matches!(i, Inst::Jmp { op: JmpOp::Jsr, rb, .. } if *rb == Reg::PV))
+        .expect("jsr through PV");
+    // PV loaded from the GAT somewhere before the JSR.
+    assert!(
+        insts[..jsr_at]
+            .iter()
+            .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldq, ra, rb, .. } if *ra == Reg::PV && *rb == Reg::GP)),
+        "pv must come from a GAT load"
+    );
+    // The GP reset pair follows, reading RA ("after the return it uses the
+    // return address register RA").
+    assert!(
+        insts[jsr_at + 1..]
+            .iter()
+            .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldah, ra, rb, .. } if *ra == Reg::GP && *rb == Reg::RA)),
+        "after-call GP reset from RA"
+    );
+    // Relocation structure: LITERAL on the load, LITUSE_JSR on the jsr,
+    // GPDISP anchored at the return point.
+    let id = m.find_symbol("f").unwrap();
+    let SymbolDef::Proc { offset, .. } = m.symbol(id).def else { panic!() };
+    let jsr_off = offset + 4 * jsr_at as u64;
+    assert!(m
+        .text_relocs()
+        .any(|r| r.offset == jsr_off && matches!(r.kind, RelocKind::LituseJsr { .. })));
+    assert!(m.text_relocs().any(|r| matches!(
+        r.kind,
+        RelocKind::Gpdisp { anchor, .. } if anchor == jsr_off + 4
+    )));
+}
+
+#[test]
+fn figure2_global_access_goes_through_the_gat() {
+    // "Obtaining the address of a variable is done by an address load from
+    // the GAT ... a fetch consists of the address load followed by a load."
+    let m = compile("int v; int f() { return v; }");
+    let insts = proc_insts(&m, "f");
+    // An LDQ off GP (the address load) followed (somewhere) by an LDQ off
+    // the loaded register.
+    let addr_load = insts
+        .iter()
+        .position(|i| matches!(i, Inst::Mem { op: MemOp::Ldq, rb, .. } if *rb == Reg::GP))
+        .expect("address load via GP");
+    let Inst::Mem { ra: addr_reg, .. } = insts[addr_load] else { unreachable!() };
+    assert!(
+        insts[addr_load + 1..]
+            .iter()
+            .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldq, rb, .. } if *rb == addr_reg)),
+        "value load through the loaded address"
+    );
+    // The module's GAT has a slot naming `v`, and the load carries LITERAL.
+    assert!(m.lita.iter().any(|e| m.symbol(e.sym).name == "v"));
+    assert!(m.text_relocs().any(|r| matches!(r.kind, RelocKind::Literal { .. })));
+    assert!(m.text_relocs().any(|r| matches!(r.kind, RelocKind::LituseBase { .. })));
+}
+
+#[test]
+fn static_calls_use_bsr_without_bookkeeping() {
+    // "It is possible to optimize a call to an unexported routine in the
+    // same module at compile-time."
+    let m = compile(
+        "static int helper(int x) { return x * 2; }
+         int f(int x) { return helper(x); }",
+    );
+    let insts = proc_insts(&m, "f");
+    assert!(
+        insts.iter().any(|i| matches!(i, Inst::Br { op: BrOp::Bsr, .. })),
+        "intra-module static call compiles to BSR"
+    );
+    assert!(
+        !insts
+            .iter()
+            .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldq, ra, .. } if *ra == Reg::PV)),
+        "no PV load for the optimized call"
+    );
+    // And the local-mode callee has no GPDISP prologue.
+    let h = proc_insts(&m, "helper");
+    assert!(
+        !h.iter()
+            .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldah, ra, .. } if *ra == Reg::GP)),
+        "local-mode callee needs no GP establishment"
+    );
+}
+
+#[test]
+fn address_taken_statics_stay_conservative() {
+    let m = compile(
+        "static int cb(int x) { return x + 1; }
+         fnptr h;
+         int f(int x) { h = &cb; return cb(x); }",
+    );
+    // cb's address is taken, so it is NOT local-mode: calls go through PV.
+    let insts = proc_insts(&m, "f");
+    assert!(
+        insts
+            .iter()
+            .any(|i| matches!(i, Inst::Jmp { op: JmpOp::Jsr, .. })),
+        "call to address-taken static must stay a JSR"
+    );
+    let cb = proc_insts(&m, "cb");
+    assert!(
+        cb.iter()
+            .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldah, ra, rb, .. } if *ra == Reg::GP && *rb == Reg::PV)),
+        "address-taken static keeps its GPDISP prologue"
+    );
+    // Its GAT-loaded address is marked escaping (self LITUSE_ADDR).
+    assert!(m.text_relocs().any(|r| matches!(
+        r.kind,
+        RelocKind::LituseAddr { load_offset } if load_offset == r.offset
+    )));
+}
+
+#[test]
+fn frame_discipline_saves_and_restores() {
+    let m = compile(
+        "extern int sink(int);
+         int f(int x) { int a = sink(x); return a + sink(a); }",
+    );
+    let insts = proc_insts(&m, "f");
+    // Frame allocated and released by equal-and-opposite LDA sp adjustments.
+    let down: i64 = insts
+        .iter()
+        .filter_map(|i| match i {
+            Inst::Mem { op: MemOp::Lda, ra, rb, disp }
+                if *ra == Reg::SP && *rb == Reg::SP && *disp < 0 =>
+            {
+                Some(*disp as i64)
+            }
+            _ => None,
+        })
+        .sum();
+    let up: i64 = insts
+        .iter()
+        .filter_map(|i| match i {
+            Inst::Mem { op: MemOp::Lda, ra, rb, disp }
+                if *ra == Reg::SP && *rb == Reg::SP && *disp > 0 =>
+            {
+                Some(*disp as i64)
+            }
+            _ => None,
+        })
+        .sum();
+    assert!(down < 0 && up == -down, "sp adjusts balance: {down} vs {up}");
+    // RA saved and restored (the function calls).
+    assert!(insts
+        .iter()
+        .any(|i| matches!(i, Inst::Mem { op: MemOp::Stq, ra, rb, .. } if *ra == Reg::RA && *rb == Reg::SP)));
+    assert!(insts
+        .iter()
+        .any(|i| matches!(i, Inst::Mem { op: MemOp::Ldq, ra, rb, .. } if *ra == Reg::RA && *rb == Reg::SP)));
+}

@@ -1,0 +1,123 @@
+//! `om` — the optimizing linker (the paper's tool, as a command).
+//!
+//! ```text
+//! om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats]
+//!    [--preemptible SYMBOL]... FILE.o... [LIB.a...]
+//! ```
+//!
+//! `--preemptible` marks a symbol as dynamically bindable: every reference
+//! to it stays fully conservative (the paper's shared-library semantics).
+//!
+//! Replaces the standard link step: translates the whole program to symbolic
+//! form, applies the requested level of address-calculation optimization,
+//! and writes the linked executable. `--stats` prints the Figure 3–5
+//! counters for this program.
+
+use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_objfile::binary;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut objects = Vec::new();
+    let mut libs = Vec::new();
+    let mut out = PathBuf::from("a.exe");
+    let mut level = OmLevel::Full;
+    let mut stats = false;
+    let mut options = OmOptions::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("om: -o needs a path");
+                    exit(2);
+                }));
+            }
+            "--level" => {
+                i += 1;
+                level = match args.get(i).map(String::as_str) {
+                    Some("none") => OmLevel::None,
+                    Some("simple") => OmLevel::Simple,
+                    Some("full") => OmLevel::Full,
+                    Some("full-sched") => OmLevel::FullSched,
+                    other => {
+                        eprintln!("om: unknown level {other:?}");
+                        exit(2);
+                    }
+                };
+            }
+            "--stats" => stats = true,
+            "--preemptible" => {
+                i += 1;
+                options.preemptible.push(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("om: --preemptible needs a symbol name");
+                    exit(2);
+                }));
+            }
+            f if !f.starts_with('-') => {
+                let bytes = std::fs::read(f).unwrap_or_else(|e| {
+                    eprintln!("om: cannot read {f}: {e}");
+                    exit(1);
+                });
+                if f.ends_with(".a") {
+                    libs.push(binary::read_archive(&bytes).unwrap_or_else(|e| {
+                        eprintln!("om: {f}: {e}");
+                        exit(1);
+                    }));
+                } else {
+                    objects.push(binary::read_module(&bytes).unwrap_or_else(|e| {
+                        eprintln!("om: {f}: {e}");
+                        exit(1);
+                    }));
+                }
+            }
+            other => {
+                eprintln!("om: unknown option {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    if objects.is_empty() {
+        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] FILE.o... [LIB.a...]");
+        exit(2);
+    }
+
+    match optimize_and_link_with(objects, &libs, level, &options) {
+        Ok(output) => {
+            std::fs::write(&out, output.image.to_bytes()).unwrap();
+            eprintln!(
+                "om: wrote {} ({}, text {} bytes)",
+                out.display(),
+                level.name(),
+                output.link.text_bytes
+            );
+            if stats {
+                let s = output.stats;
+                let (cv, nu) = s.addr_load_fractions();
+                println!("instructions:   {} before, {} nullified, {} deleted ({:.1}% removed)",
+                    s.insts_before, s.insts_nullified, s.insts_deleted,
+                    100.0 * s.inst_fraction_removed());
+                println!("address loads:  {} total, {:.1}% converted, {:.1}% nullified",
+                    s.addr_loads_total, 100.0 * cv, 100.0 * nu);
+                println!("calls:          {} total ({} indirect), {} JSR->BSR",
+                    s.calls_total, s.calls_indirect, s.calls_jsr_to_bsr);
+                println!("  PV loads:     {} -> {}", s.calls_pv_before, s.calls_pv_after);
+                println!("  GP resets:    {} -> {}", s.calls_gp_reset_before, s.calls_gp_reset_after);
+                println!("GAT:            {} -> {} slots ({:.1}%)",
+                    s.gat_slots_before, s.gat_slots_after, 100.0 * s.gat_ratio());
+                if s.unops_inserted > 0 {
+                    println!("alignment:      {} UNOPs inserted", s.unops_inserted);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("om: {e}");
+            exit(1);
+        }
+    }
+}

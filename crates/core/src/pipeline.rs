@@ -1,0 +1,181 @@
+//! The OM driver: load → translate to symbolic form → transform → emit →
+//! link. This is the "optimizing linker" of §4 — it replaces the standard
+//! link step entirely.
+
+use crate::analysis::{call_sites, CallKind, Snapshot};
+use crate::stats::OmStats;
+use crate::sym::{translate, InstId, OmError, SymProgram};
+use om_linker::{build_symbol_table, link_modules, select_modules, Image, LayoutOpts, LinkStats};
+use om_objfile::{Archive, Module};
+use std::collections::HashMap;
+
+/// Per-call-site bookkeeping: `(needs PV load, needs GP reset)`, keyed by
+/// `(module, proc, jsr instruction id)`. Populated before transformation and
+/// updated as OM removes bookkeeping code; summed for Figure 4.
+pub type CallBook = HashMap<(usize, usize, InstId), (bool, bool)>;
+
+/// The optimization level applied at link time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmLevel {
+    /// Pass-through: translate to symbolic form and back, no transformation
+    /// (the paper's "OM no opt" build-time row).
+    None,
+    /// No code motion, nullification to no-ops.
+    Simple,
+    /// Full transformation: deletion, reordering, GAT reduction.
+    Full,
+    /// OM-full plus final rescheduling with quadword alignment.
+    FullSched,
+}
+
+impl OmLevel {
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            OmLevel::None => "no opt",
+            OmLevel::Simple => "OM-simple",
+            OmLevel::Full => "OM-full",
+            OmLevel::FullSched => "OM-full w/sched",
+        }
+    }
+}
+
+/// Ablation and policy knobs for the transformations (defaults reproduce the
+/// paper's OM; the `ablations` harness toggles them one at a time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmOptions {
+    /// Sort common symbols by size next to the GAT (an OM-simple layout
+    /// improvement over the standard linker).
+    pub sort_commons: bool,
+    /// Quadword-align backward-branch targets during rescheduling.
+    pub align_backward_targets: bool,
+    /// GAT-reduction fixpoint budget (1 = a single pass, no re-layout).
+    pub max_rounds: usize,
+    /// Symbols that dynamic linking may preempt (the paper's §6 discussion:
+    /// OM "does not currently support calls to shared libraries [but] there
+    /// is no fundamental problem with doing so ... calls to dynamically
+    /// linked library routines cannot be optimized as statically linked
+    /// calls can"). Every reference to a listed name stays fully
+    /// conservative: no JSR→BSR, no PV-load or GP-reset removal, no prologue
+    /// deletion, no address-load conversion.
+    pub preemptible: Vec<String>,
+}
+
+impl Default for OmOptions {
+    fn default() -> Self {
+        OmOptions {
+            sort_commons: true,
+            align_backward_targets: true,
+            max_rounds: 8,
+            preemptible: Vec::new(),
+        }
+    }
+}
+
+/// Result of an optimizing link.
+#[derive(Debug, Clone)]
+pub struct OmOutput {
+    pub image: Image,
+    pub stats: OmStats,
+    pub link: LinkStats,
+}
+
+/// Counts the pre-transformation statistics.
+fn collect_before(
+    program: &SymProgram,
+    snap: &Snapshot,
+    stats: &mut OmStats,
+    book: &mut CallBook,
+) {
+    stats.insts_before = program.inst_count();
+    stats.gat_slots_before = snap.gat_slots();
+    for (mi, m) in program.modules.iter().enumerate() {
+        for (pi, p) in m.procs.iter().enumerate() {
+            stats.addr_loads_total += crate::analysis::literal_loads(p).len();
+            for s in call_sites(p) {
+                stats.calls_total += 1;
+                let jsr_id = p.insts[s.at].id;
+                let (pv, reset) = match s.kind {
+                    CallKind::DirectJsr { .. } => (true, s.gp_reset.is_some()),
+                    CallKind::Bsr { .. } => (false, s.gp_reset.is_some()),
+                    CallKind::Indirect => {
+                        stats.calls_indirect += 1;
+                        (true, s.gp_reset.is_some())
+                    }
+                };
+                if pv {
+                    stats.calls_pv_before += 1;
+                }
+                if reset {
+                    stats.calls_gp_reset_before += 1;
+                }
+                book.insert((mi, pi, jsr_id), (pv, reset));
+            }
+        }
+    }
+}
+
+/// Performs an optimizing link of `objects` (+ libraries) at `level`.
+///
+/// # Errors
+///
+/// Returns [`OmError`] for malformed input or link failures.
+pub fn optimize_and_link(
+    objects: Vec<Module>,
+    libs: &[Archive],
+    level: OmLevel,
+) -> Result<OmOutput, OmError> {
+    optimize_and_link_with(objects, libs, level, &OmOptions::default())
+}
+
+/// [`optimize_and_link`] with explicit ablation options.
+///
+/// # Errors
+///
+/// Returns [`OmError`] for malformed input or link failures.
+pub fn optimize_and_link_with(
+    objects: Vec<Module>,
+    libs: &[Archive],
+    level: OmLevel,
+    options: &OmOptions,
+) -> Result<OmOutput, OmError> {
+    let modules = select_modules(objects, libs)?;
+    let symtab = build_symbol_table(&modules)?;
+    let mut program = translate(&modules, &symtab)?;
+
+    let mut stats = OmStats::default();
+    let mut book: CallBook = HashMap::new();
+    let snap0 = Snapshot::capture(&program)?;
+    collect_before(&program, &snap0, &mut stats, &mut book);
+    drop(snap0);
+
+    match level {
+        OmLevel::None => {}
+        OmLevel::Simple => crate::simple::run_with(&mut program, &mut stats, &mut book, options)?,
+        OmLevel::Full => crate::full::run_with(&mut program, &mut stats, &mut book, options)?,
+        OmLevel::FullSched => {
+            crate::full::run_with(&mut program, &mut stats, &mut book, options)?;
+            crate::resched::run_with(&mut program, &mut stats, options.align_backward_targets);
+        }
+    }
+
+    // Derived counters.
+    stats.calls_pv_after = book.values().filter(|&&(pv, _)| pv).count();
+    stats.calls_gp_reset_after = book.values().filter(|&&(_, reset)| reset).count();
+
+    // Final link with OM's layout policy.
+    let final_modules = crate::sym::emit_all(&program);
+    stats.gat_slots_after = {
+        let st = build_symbol_table(&final_modules)?;
+        om_linker::layout(&final_modules, &st, &LayoutOpts { sort_commons: options.sort_commons })?
+            .gat_slots
+    };
+    let (image, link) = link_modules(
+        final_modules,
+        &[],
+        &LayoutOpts { sort_commons: level != OmLevel::None && options.sort_commons },
+    )
+    .map_err(OmError::Link)?;
+
+    Ok(OmOutput { image, stats, link })
+}

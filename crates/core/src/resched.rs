@@ -1,0 +1,208 @@
+//! Final rescheduling: per-basic-block list scheduling after all the
+//! address-calculation optimizations, plus quadword alignment of
+//! backward-branch targets (§4: "Rescheduling includes quadword-aligning
+//! instructions that are the targets of backward branches, which is intended
+//! to improve the behavior of the AXP's dual-issue and cache").
+//!
+//! The input was scheduled at compile time "in the presence of a large number
+//! of address loads that OM later removed"; rescheduling lets the freed
+//! latency slots be reused. The paper found the payoff small — our harness
+//! measures the same experiment.
+
+use crate::stats::OmStats;
+use crate::sym::{InstId, SInst, SMark, SymProgram};
+use om_alpha::timing::{can_dual_issue, latency};
+use om_alpha::{Effects, Inst};
+use std::collections::{HashMap, HashSet};
+
+/// Reschedules every procedure and aligns backward-branch targets.
+pub fn run(program: &mut SymProgram, stats: &mut OmStats) {
+    run_with(program, stats, true);
+}
+
+/// [`run`] with the alignment pass optional (the ablation the paper itself
+/// performed on `ear`: "when we scheduled it without alignment the
+/// performance was improved").
+pub fn run_with(program: &mut SymProgram, stats: &mut OmStats, align: bool) {
+    for m in &mut program.modules {
+        for p in &mut m.procs {
+            schedule_proc(&mut p.insts);
+        }
+    }
+    if align {
+        align_backward_targets(program, stats);
+    }
+}
+
+/// Splits `insts` into basic blocks and list-schedules each block.
+pub fn schedule_proc(insts: &mut Vec<SInst>) {
+    // Block leaders: position 0, branch targets, and instructions after a
+    // control transfer.
+    let mut leaders: HashSet<usize> = HashSet::new();
+    leaders.insert(0);
+    let pos_of: HashMap<InstId, usize> =
+        insts.iter().enumerate().map(|(k, i)| (i.id, k)).collect();
+    for (k, i) in insts.iter().enumerate() {
+        if i.inst.is_control() {
+            leaders.insert(k + 1);
+        }
+        if let SMark::BrLocal { target } = i.mark {
+            leaders.insert(pos_of[&target]);
+        }
+    }
+    let mut starts: Vec<usize> = leaders.into_iter().filter(|&k| k < insts.len()).collect();
+    starts.sort_unstable();
+
+    // The entry GPDISP pair is pinned: OM-full restored it to the procedure
+    // entry precisely so call sites can skip it (BSR to entry+8), and some
+    // already do — rescheduling must not sink it again.
+    let pinned = match (insts.first(), insts.get(1)) {
+        (Some(first), Some(second)) => match first.mark {
+            crate::sym::SMark::GpdispHi { lo, anchor: crate::sym::SAnchor::Entry }
+                if second.id == lo =>
+            {
+                2
+            }
+            _ => 0,
+        },
+        _ => 0,
+    };
+
+    // Branch-target instructions must stay at their block heads: a branch
+    // jumps to a specific instruction id, and anything the scheduler hoisted
+    // above it would be skipped on the branch path.
+    let targets: HashSet<InstId> = insts
+        .iter()
+        .filter_map(|i| match i.mark {
+            SMark::BrLocal { target } => Some(target),
+            _ => None,
+        })
+        .collect();
+
+    let mut out: Vec<SInst> = insts[..pinned.min(insts.len())].to_vec();
+    for (bi, &s) in starts.iter().enumerate() {
+        let e = starts.get(bi + 1).copied().unwrap_or(insts.len());
+        if e <= pinned {
+            continue;
+        }
+        let mut s = s.max(pinned);
+        // Pin the leader while it is a branch target.
+        while s < e && targets.contains(&insts[s].id) {
+            out.push(insts[s].clone());
+            s += 1;
+        }
+        let mut block: Vec<SInst> = insts[s..e].to_vec();
+        schedule_block(&mut block);
+        out.extend(block);
+    }
+    *insts = out;
+}
+
+/// Latency-driven list scheduling of one block (same policy as the
+/// compile-time scheduler, but over post-OM code).
+fn schedule_block(block: &mut Vec<SInst>) {
+    let n = block.len();
+    if n < 2 {
+        return;
+    }
+    let effects: Vec<Effects> = block.iter().map(|i| Effects::of(&i.inst)).collect();
+
+    // Extra ordering constraints beyond register/memory dependences: a
+    // GPDISP pair must keep its internal order (already enforced by the GP
+    // register dependence) and LITUSE consumers follow their load (enforced
+    // by the load's destination register). So plain Effects suffice.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut npreds: Vec<usize> = vec![0; n];
+    for j in 0..n {
+        for i in 0..j {
+            if effects[j].depends_on(&effects[i]) {
+                succs[i].push(j);
+                npreds[j] += 1;
+            }
+        }
+    }
+    let mut prio: Vec<u32> = vec![0; n];
+    for i in (0..n).rev() {
+        let tail = succs[i].iter().map(|&j| prio[j]).max().unwrap_or(0);
+        prio[i] = latency(&block[i].inst) + tail;
+    }
+    let fanout: Vec<usize> = succs.iter().map(Vec::len).collect();
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| npreds[i] == 0).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = npreds;
+    while let Some(&first) = ready.first() {
+        let mut best = first;
+        for &c in &ready {
+            let key = |i: usize| {
+                let pairs = order
+                    .last()
+                    .map(|&p| can_dual_issue(&block[p].inst, &block[i].inst))
+                    .unwrap_or(false);
+                (prio[i], fanout[i], pairs as u32, std::cmp::Reverse(i))
+            };
+            if key(c) > key(best) {
+                best = c;
+            }
+        }
+        ready.retain(|&i| i != best);
+        order.push(best);
+        for &j in &succs[best] {
+            remaining[j] -= 1;
+            if remaining[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+
+    let old = std::mem::take(block);
+    let mut slots: Vec<Option<SInst>> = old.into_iter().map(Some).collect();
+    *block = order
+        .into_iter()
+        .map(|i| slots[i].take().expect("scheduled twice"))
+        .collect();
+}
+
+/// Inserts UNOPs so that every backward-branch target lands on an 8-byte
+/// boundary in the final image (procedure start offsets are 16-aligned at
+/// layout time, so intra-module offsets determine alignment).
+fn align_backward_targets(program: &mut SymProgram, stats: &mut OmStats) {
+    for m in &mut program.modules {
+        // Offset of each proc start within the module, updated as UNOPs are
+        // inserted (procedures are laid out back to back).
+        let mut base = 0u64;
+        for p in &mut m.procs {
+            // Identify backward-branch targets: target position < branch
+            // position.
+            let pos_of: HashMap<InstId, usize> =
+                p.insts.iter().enumerate().map(|(k, i)| (i.id, k)).collect();
+            let mut targets: Vec<InstId> = p
+                .insts
+                .iter()
+                .enumerate()
+                .filter_map(|(k, i)| match i.mark {
+                    SMark::BrLocal { target } if pos_of[&target] <= k => Some(target),
+                    _ => None,
+                })
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+
+            // Walk front to back, padding before each backward target until
+            // its offset is quadword-aligned. Padding shifts later targets,
+            // so process in position order.
+            let mut k = 0;
+            while k < p.insts.len() {
+                let id = p.insts[k].id;
+                if targets.contains(&id) && !(base + 4 * k as u64).is_multiple_of(8) {
+                    let fresh = p.fresh_id();
+                    p.insts.insert(k, SInst { id: fresh, inst: Inst::unop(), mark: SMark::None });
+                    stats.unops_inserted += 1;
+                    k += 1; // the target moved one slot later and is now aligned
+                }
+                k += 1;
+            }
+            base += 4 * p.insts.len() as u64;
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Transformation statistics — the raw material of the paper's Figures 3–5
+//! and the GAT-reduction numbers in §5.1.
+
+/// Counters collected while OM transforms a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OmStats {
+    /// Instructions in the program before optimization.
+    pub insts_before: usize,
+    /// Instructions changed to no-ops (OM-simple never deletes).
+    pub insts_nullified: usize,
+    /// Instructions deleted outright (OM-full).
+    pub insts_deleted: usize,
+    /// No-ops inserted by the rescheduler for quadword alignment.
+    pub unops_inserted: usize,
+
+    /// GAT address loads in the input (Figure 3 denominator).
+    pub addr_loads_total: usize,
+    /// Address loads converted to LDA/LDAH load-address operations.
+    pub addr_loads_converted: usize,
+    /// Address loads nullified (to no-ops) or deleted.
+    pub addr_loads_nullified: usize,
+
+    /// Call sites in the input: direct JSR, compiler-emitted BSR, and calls
+    /// through procedure variables (Figure 4 denominator).
+    pub calls_total: usize,
+    /// Calls through procedure variables (their PV use can never be removed).
+    pub calls_indirect: usize,
+    /// JSRs rewritten into BSRs.
+    pub calls_jsr_to_bsr: usize,
+    /// Call sites with a PV address load before / after optimization.
+    pub calls_pv_before: usize,
+    pub calls_pv_after: usize,
+    /// Call sites with a GP-reset pair before / after optimization.
+    pub calls_gp_reset_before: usize,
+    pub calls_gp_reset_after: usize,
+
+    /// Merged GAT slots before and after optimization.
+    pub gat_slots_before: usize,
+    pub gat_slots_after: usize,
+}
+
+impl OmStats {
+    /// Fraction of address loads removed, split `(converted, nullified)`
+    /// (Figure 3's dark and light bar segments).
+    pub fn addr_load_fractions(&self) -> (f64, f64) {
+        if self.addr_loads_total == 0 {
+            return (0.0, 0.0);
+        }
+        let t = self.addr_loads_total as f64;
+        (
+            self.addr_loads_converted as f64 / t,
+            self.addr_loads_nullified as f64 / t,
+        )
+    }
+
+    /// Fraction of calls still requiring a PV load (Figure 4, top).
+    pub fn pv_fraction_after(&self) -> f64 {
+        if self.calls_total == 0 {
+            return 0.0;
+        }
+        self.calls_pv_after as f64 / self.calls_total as f64
+    }
+
+    /// Fraction of calls still requiring GP-reset code (Figure 4, bottom).
+    pub fn gp_reset_fraction_after(&self) -> f64 {
+        if self.calls_total == 0 {
+            return 0.0;
+        }
+        self.calls_gp_reset_after as f64 / self.calls_total as f64
+    }
+
+    /// Fraction of instructions nullified or deleted (Figure 5).
+    pub fn inst_fraction_removed(&self) -> f64 {
+        if self.insts_before == 0 {
+            return 0.0;
+        }
+        (self.insts_nullified + self.insts_deleted) as f64 / self.insts_before as f64
+    }
+
+    /// GAT size after optimization relative to before (§5.1: 3%–15%).
+    pub fn gat_ratio(&self) -> f64 {
+        if self.gat_slots_before == 0 {
+            return 1.0;
+        }
+        self.gat_slots_after as f64 / self.gat_slots_before as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_zero_denominators() {
+        let s = OmStats::default();
+        assert_eq!(s.addr_load_fractions(), (0.0, 0.0));
+        assert_eq!(s.pv_fraction_after(), 0.0);
+        assert_eq!(s.inst_fraction_removed(), 0.0);
+        assert_eq!(s.gat_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fractions_compute() {
+        let s = OmStats {
+            insts_before: 200,
+            insts_nullified: 10,
+            insts_deleted: 12,
+            addr_loads_total: 40,
+            addr_loads_converted: 10,
+            addr_loads_nullified: 25,
+            calls_total: 10,
+            calls_pv_after: 3,
+            calls_gp_reset_after: 1,
+            gat_slots_before: 100,
+            gat_slots_after: 9,
+            ..OmStats::default()
+        };
+        assert_eq!(s.addr_load_fractions(), (0.25, 0.625));
+        assert_eq!(s.inst_fraction_removed(), 0.11);
+        assert_eq!(s.pv_fraction_after(), 0.3);
+        assert_eq!(s.gp_reset_fraction_after(), 0.1);
+        assert!((s.gat_ratio() - 0.09).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared-library semantics (§6): symbols that dynamic linking may preempt
+//! must keep fully conservative code — the compiler couldn't know, and OM,
+//! told which symbols are dynamic, must not touch them.
+
+use om_codegen::{compile_source, crt0, CompileOpts};
+use om_core::{optimize_and_link, optimize_and_link_with, OmLevel, OmOptions};
+use om_objfile::Module;
+use om_sim::run_image;
+
+fn objects() -> Vec<Module> {
+    let opts = CompileOpts::o2();
+    vec![
+        crt0::module().unwrap(),
+        compile_source(
+            "main",
+            "extern int plugin(int); extern int local_fn(int);
+             int shared_counter;
+             int main() {
+               int i = 0;
+               for (i = 0; i < 6; i = i + 1) {
+                 shared_counter = shared_counter + plugin(i) + local_fn(i);
+               }
+               return shared_counter;
+             }",
+            &opts,
+        )
+        .unwrap(),
+        compile_source(
+            "libplugin",
+            "int plugin(int x) { return x * 3 + 1; }
+             int local_fn(int x) { return x ^ 5; }",
+            &opts,
+        )
+        .unwrap(),
+    ]
+}
+
+fn preempt(names: &[&str]) -> OmOptions {
+    OmOptions {
+        preemptible: names.iter().map(|s| s.to_string()).collect(),
+        ..OmOptions::default()
+    }
+}
+
+#[test]
+fn preemptible_calls_keep_their_bookkeeping() {
+    let baseline = optimize_and_link(objects(), &[], OmLevel::Full).unwrap();
+    // Without preemption every direct call loses PV load and GP reset.
+    assert_eq!(baseline.stats.calls_pv_after, 0);
+
+    let guarded =
+        optimize_and_link_with(objects(), &[], OmLevel::Full, &preempt(&["plugin"])).unwrap();
+    // The calls to `plugin` (one per loop body — statically one site) keep
+    // their PV load and GP reset; `local_fn`'s sites are still optimized.
+    assert!(guarded.stats.calls_pv_after > 0, "{:?}", guarded.stats);
+    assert!(guarded.stats.calls_gp_reset_after > 0, "{:?}", guarded.stats);
+    assert!(
+        guarded.stats.calls_pv_after < guarded.stats.calls_pv_before,
+        "non-preemptible calls must still be optimized: {:?}",
+        guarded.stats
+    );
+    assert!(guarded.stats.calls_jsr_to_bsr < baseline.stats.calls_jsr_to_bsr);
+}
+
+#[test]
+fn preemptible_data_keeps_its_gat_slot() {
+    let baseline = optimize_and_link(objects(), &[], OmLevel::Full).unwrap();
+    let guarded = optimize_and_link_with(
+        objects(),
+        &[],
+        OmLevel::Full,
+        &preempt(&["shared_counter"]),
+    )
+    .unwrap();
+    assert!(
+        guarded.stats.gat_slots_after > baseline.stats.gat_slots_after,
+        "the preemptible object's slot must survive: {:?} vs {:?}",
+        guarded.stats,
+        baseline.stats
+    );
+    assert!(
+        guarded.stats.addr_loads_nullified < baseline.stats.addr_loads_nullified,
+        "its address loads must stay"
+    );
+}
+
+#[test]
+fn results_are_unchanged_in_a_closed_world() {
+    // With no actual dynamic linker in the loop, the statically-linked
+    // definition is used either way: semantics must match exactly.
+    let expected = run_image(&optimize_and_link(objects(), &[], OmLevel::None).unwrap().image, 1_000_000)
+        .unwrap()
+        .result;
+    for level in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
+        let out = optimize_and_link_with(
+            objects(),
+            &[],
+            level,
+            &preempt(&["plugin", "shared_counter"]),
+        )
+        .unwrap();
+        let r = run_image(&out.image, 1_000_000).unwrap();
+        assert_eq!(r.result, expected, "{}", level.name());
+    }
+}
+
+#[test]
+fn preemptible_procedures_keep_their_prologues() {
+    let out =
+        optimize_and_link_with(objects(), &[], OmLevel::Full, &preempt(&["plugin"])).unwrap();
+    // plugin's entry must still start with its GPDISP pair: disassemble it.
+    let addr = out.image.symbols["plugin"];
+    let text = &out.image.segments[0];
+    let off = (addr - text.base) as usize;
+    let word = u32::from_le_bytes(text.bytes[off..off + 4].try_into().unwrap());
+    let inst = om_alpha::decode(word).unwrap();
+    assert!(
+        matches!(inst, om_alpha::Inst::Mem { op: om_alpha::MemOp::Ldah, ra, .. } if ra == om_alpha::Reg::GP),
+        "plugin must keep `ldah gp, ...(pv)` at entry, got {inst}"
+    );
+}

@@ -1,0 +1,87 @@
+//! `mld` — the standard (non-optimizing) linker driver.
+//!
+//! ```text
+//! mld [-o OUT.exe] [--sort-commons] FILE.o... [LIB.a...]
+//! ```
+//!
+//! Inputs ending in `.a` are searched as archives (in the order given);
+//! everything else is an explicit object. Writes an executable image and
+//! prints link statistics.
+
+use om_linker::{LayoutOpts, Linker};
+use om_objfile::binary;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut objects = Vec::new();
+    let mut libs = Vec::new();
+    let mut out = PathBuf::from("a.exe");
+    let mut opts = LayoutOpts::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("mld: -o needs a path");
+                    exit(2);
+                }));
+            }
+            "--sort-commons" => opts.sort_commons = true,
+            f if !f.starts_with('-') => {
+                let bytes = std::fs::read(f).unwrap_or_else(|e| {
+                    eprintln!("mld: cannot read {f}: {e}");
+                    exit(1);
+                });
+                if f.ends_with(".a") {
+                    libs.push(binary::read_archive(&bytes).unwrap_or_else(|e| {
+                        eprintln!("mld: {f}: {e}");
+                        exit(1);
+                    }));
+                } else {
+                    objects.push(binary::read_module(&bytes).unwrap_or_else(|e| {
+                        eprintln!("mld: {f}: {e}");
+                        exit(1);
+                    }));
+                }
+            }
+            other => {
+                eprintln!("mld: unknown option {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    if objects.is_empty() {
+        eprintln!("usage: mld [-o OUT.exe] [--sort-commons] FILE.o... [LIB.a...]");
+        exit(2);
+    }
+
+    let mut linker = Linker::new().layout_opts(opts);
+    for o in objects {
+        linker = linker.object(o);
+    }
+    for l in libs {
+        linker = linker.library(l);
+    }
+    match linker.link() {
+        Ok((image, stats)) => {
+            std::fs::write(&out, image.to_bytes()).unwrap();
+            eprintln!(
+                "mld: wrote {} ({} modules, text {} bytes, GAT {} slots in {} group(s))",
+                out.display(),
+                stats.modules,
+                stats.text_bytes,
+                stats.gat_slots,
+                stats.gp_groups
+            );
+        }
+        Err(e) => {
+            eprintln!("mld: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Link-time errors.
+
+use std::fmt;
+
+/// Errors produced while resolving, laying out, or relocating a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// A referenced symbol has no definition in any module or library.
+    Undefined { name: String, referenced_by: String },
+    /// Two modules export conflicting definitions of one name.
+    Duplicate { name: String, modules: (String, String) },
+    /// A displacement no longer fits its instruction field.
+    Range { what: String },
+    /// A module failed structural validation.
+    Object(om_objfile::ObjError),
+    /// The program has no `__start`.
+    NoEntry,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined { name, referenced_by } => {
+                write!(f, "undefined symbol `{name}` (referenced by `{referenced_by}`)")
+            }
+            LinkError::Duplicate { name, modules } => write!(
+                f,
+                "symbol `{name}` multiply defined (in `{}` and `{}`)",
+                modules.0, modules.1
+            ),
+            LinkError::Range { what } => write!(f, "relocation out of range: {what}"),
+            LinkError::Object(e) => write!(f, "{e}"),
+            LinkError::NoEntry => write!(f, "no `__start` symbol in the program"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<om_objfile::ObjError> for LinkError {
+    fn from(e: om_objfile::ObjError) -> Self {
+        LinkError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parties() {
+        let e = LinkError::Undefined { name: "sin".into(), referenced_by: "main".into() };
+        assert!(e.to_string().contains("sin") && e.to_string().contains("main"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Program layout: section placement, GAT merging with deduplication, GP
+//! value selection, and common-symbol allocation.
+//!
+//! The data segment is laid out as `[.lita][.sdata][commons][.sbss][.data]
+//! [.bss]`, so the GAT sits at the bottom of the GP window and the small
+//! data right above it. The GP for each GAT group is `group base + 0x8000`,
+//! putting the entire group plus as much small data as possible within the
+//! signed 16-bit window — the "simple heuristic to pick a good value for the
+//! GP" the paper mentions.
+
+use crate::error::LinkError;
+use crate::image::{Extent, LayoutInfo};
+use crate::resolve::SymbolTable;
+use om_objfile::{Module, SecId, SymbolDef, SymId, Visibility, DATA_BASE, TEXT_BASE};
+use std::collections::HashMap;
+
+/// Maximum GAT slots per GP group: a signed 16-bit displacement spans 64KB
+/// around GP; with GP at `base + 0x8000` every slot of an 8191-entry table
+/// is addressable.
+pub const GAT_GROUP_CAPACITY: usize = 8191;
+
+/// Layout policy knobs (the standard linker vs OM-simple differ only here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct LayoutOpts {
+    /// Sort common symbols by size so the smallest land nearest the GAT
+    /// (an OM-simple improvement; the standard linker allocates them in
+    /// input order).
+    pub sort_commons: bool,
+}
+
+
+/// Per-module section bases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModuleBases {
+    pub text: u64,
+    pub data: u64,
+    pub sdata: u64,
+    pub sbss: u64,
+    pub bss: u64,
+}
+
+/// Identity of a GAT entry for deduplication: the resolved symbol plus
+/// addend. Locally-visible symbols are distinct per module.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GatKey {
+    Global(String, i64),
+    Local(usize, SymId, i64),
+}
+
+/// The computed program layout.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramLayout {
+    pub bases: Vec<ModuleBases>,
+    /// GAT group of each module.
+    pub group_of_module: Vec<u32>,
+    /// GP value per group.
+    pub gp_values: Vec<u64>,
+    /// Per module, per local `.lita` index: the merged slot's address.
+    pub lita_addr: Vec<Vec<u64>>,
+    /// Allocated common symbol addresses.
+    pub common_addr: HashMap<String, u64>,
+    /// Deduplicated GAT slots in address order: (address, module, local index).
+    pub slots: Vec<(u64, usize, u32)>,
+    pub info: LayoutInfo,
+    /// Total `.lita` entries before deduplication.
+    pub gat_entries_input: usize,
+    /// Slots after merging.
+    pub gat_slots: usize,
+}
+
+fn align(v: u64, a: u64) -> u64 {
+    v.div_ceil(a) * a
+}
+
+/// Computes the layout of `modules`.
+///
+/// # Errors
+///
+/// Currently infallible in practice; the `Result` surfaces future range
+/// failures (e.g. a program too large for the segment span).
+pub fn layout(
+    modules: &[Module],
+    symtab: &SymbolTable,
+    opts: &LayoutOpts,
+) -> Result<ProgramLayout, LinkError> {
+    let mut out = ProgramLayout {
+        bases: vec![ModuleBases::default(); modules.len()],
+        group_of_module: vec![0; modules.len()],
+        lita_addr: modules.iter().map(|m| vec![0; m.lita.len()]).collect(),
+        ..ProgramLayout::default()
+    };
+
+    // Text.
+    let mut pc = TEXT_BASE;
+    for (mi, m) in modules.iter().enumerate() {
+        pc = align(pc, 16);
+        out.bases[mi].text = pc;
+        pc += m.text.len() as u64;
+    }
+    out.info.text = Extent { base: TEXT_BASE, size: pc - TEXT_BASE };
+
+    // GAT groups: walk modules, dedup entries, splitting when a group fills.
+    let mut addr = DATA_BASE;
+    let lita_base = addr;
+    let mut group_start = addr;
+    let mut current: HashMap<GatKey, u64> = HashMap::new();
+    let mut group_id: u32 = 0;
+    let mut group_bases: Vec<u64> = vec![group_start];
+
+    for (mi, m) in modules.iter().enumerate() {
+        out.gat_entries_input += m.lita.len();
+        // How many new slots would this module add to the current group?
+        let keys: Vec<GatKey> = m
+            .lita
+            .iter()
+            .map(|e| gat_key(modules, symtab, mi, e.sym, e.addend))
+            .collect();
+        let new = keys.iter().filter(|k| !current.contains_key(*k)).count();
+        if current.len() + new > GAT_GROUP_CAPACITY && !current.is_empty() {
+            // Seal the group and start a new one for this module.
+            group_id += 1;
+            group_start = addr;
+            group_bases.push(group_start);
+            current = HashMap::new();
+        }
+        out.group_of_module[mi] = group_id;
+        for (li, k) in keys.into_iter().enumerate() {
+            let slot = *current.entry(k).or_insert_with(|| {
+                let a = addr;
+                addr += 8;
+                out.slots.push((a, mi, li as u32));
+                a
+            });
+            out.lita_addr[mi][li] = slot;
+        }
+    }
+    out.gat_slots = ((addr - lita_base) / 8) as usize;
+    out.info.lita = Extent { base: lita_base, size: addr - lita_base };
+    out.gp_values = group_bases.iter().map(|&b| b + 0x8000).collect();
+    out.info.gp_values = out.gp_values.clone();
+
+    // .sdata per module.
+    let sdata_base = addr;
+    for (mi, m) in modules.iter().enumerate() {
+        out.bases[mi].sdata = addr;
+        addr += m.sdata.len() as u64;
+    }
+    addr = align(addr, 8);
+    out.info.sdata = Extent { base: sdata_base, size: addr - sdata_base };
+
+    // Commons, optionally sorted by size (OM-simple's improvement).
+    let mut commons: Vec<(&String, u64, u64)> = symtab
+        .commons
+        .iter()
+        .map(|(n, &(size, al))| (n, size, al))
+        .collect();
+    if opts.sort_commons {
+        commons.sort_by_key(|&(n, size, _)| (size, n.clone()));
+    } else {
+        // Deterministic "input" order: the order names first appear across
+        // modules.
+        let mut first_seen: HashMap<&str, usize> = HashMap::new();
+        let mut i = 0;
+        for m in modules {
+            for s in &m.symbols {
+                if matches!(s.def, SymbolDef::Common { .. })
+                    && !first_seen.contains_key(s.name.as_str())
+                {
+                    first_seen.insert(&s.name, i);
+                    i += 1;
+                }
+            }
+        }
+        commons.sort_by_key(|&(n, _, _)| first_seen.get(n.as_str()).copied().unwrap_or(usize::MAX));
+    }
+    for (name, size, al) in commons {
+        addr = align(addr, al.max(8));
+        out.common_addr.insert(name.clone(), addr);
+        addr += size;
+    }
+
+    // .sbss per module.
+    let sbss_base = addr;
+    for (mi, m) in modules.iter().enumerate() {
+        addr = align(addr, 8);
+        out.bases[mi].sbss = addr;
+        addr += m.sbss_size;
+    }
+    out.info.sbss = Extent { base: sbss_base, size: addr - sbss_base };
+
+    // .data per module.
+    addr = align(addr, 16);
+    let data_base = addr;
+    for (mi, m) in modules.iter().enumerate() {
+        addr = align(addr, 16);
+        out.bases[mi].data = addr;
+        addr += m.data.len() as u64;
+    }
+    out.info.data = Extent { base: data_base, size: addr - data_base };
+
+    // .bss per module.
+    addr = align(addr, 16);
+    let bss_base = addr;
+    for (mi, m) in modules.iter().enumerate() {
+        addr = align(addr, 16);
+        out.bases[mi].bss = addr;
+        addr += m.bss_size;
+    }
+    out.info.bss = Extent { base: bss_base, size: addr - bss_base };
+
+    Ok(out)
+}
+
+fn gat_key(
+    modules: &[Module],
+    symtab: &SymbolTable,
+    mi: usize,
+    sym: SymId,
+    addend: i64,
+) -> GatKey {
+    let s = modules[mi].symbol(sym);
+    if s.vis == Visibility::Local && s.is_defined() {
+        GatKey::Local(mi, sym, addend)
+    } else {
+        // Exported definition or external reference: identity is the name.
+        let _ = symtab;
+        GatKey::Global(s.name.clone(), addend)
+    }
+}
+
+/// Resolves the address of a symbol reference `(module, id)` under `layout`.
+///
+/// # Errors
+///
+/// Returns [`LinkError::Undefined`] for unresolvable externals (cannot occur
+/// after [`crate::resolve::build_symbol_table`] succeeded).
+pub fn sym_addr(
+    modules: &[Module],
+    symtab: &SymbolTable,
+    layout: &ProgramLayout,
+    mi: usize,
+    id: SymId,
+) -> Result<u64, LinkError> {
+    let s = modules[mi].symbol(id);
+    let defining = if s.is_defined() && (s.vis == Visibility::Local) {
+        Some((mi, id))
+    } else if let Some(&(dm, did)) = symtab.globals.get(&s.name) {
+        Some((dm, did))
+    } else {
+        None
+    };
+    if let Some((dm, did)) = defining {
+        let d = modules[dm].symbol(did);
+        let b = &layout.bases[dm];
+        let addr = match &d.def {
+            SymbolDef::Proc { offset, .. } => b.text + offset,
+            SymbolDef::Data { sec, offset, .. } => match sec {
+                SecId::Data => b.data + offset,
+                SecId::Sdata => b.sdata + offset,
+                SecId::Sbss => b.sbss + offset,
+                SecId::Bss => b.bss + offset,
+                SecId::Text => b.text + offset,
+            },
+            SymbolDef::Common { .. } | SymbolDef::Extern => {
+                // A "defined" local common cannot exist; fall through to the
+                // common allocation.
+                return layout
+                    .common_addr
+                    .get(&d.name)
+                    .copied()
+                    .ok_or_else(|| LinkError::Undefined {
+                        name: d.name.clone(),
+                        referenced_by: modules[mi].name.clone(),
+                    });
+            }
+        };
+        return Ok(addr);
+    }
+    layout
+        .common_addr
+        .get(&s.name)
+        .copied()
+        .ok_or_else(|| LinkError::Undefined {
+            name: s.name.clone(),
+            referenced_by: modules[mi].name.clone(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::build_symbol_table;
+    use om_objfile::{LitaEntry, Symbol};
+
+    fn mod_with_lita(name: &str, refs: &[&str]) -> Module {
+        let mut m = Module::new(name);
+        m.text = vec![0; 8];
+        m.symbols.push(Symbol::proc(format!("{name}_p"), 0, 8, 0));
+        for r in refs {
+            let id = SymId(m.symbols.len() as u32);
+            m.symbols.push(Symbol::external(*r));
+            m.lita.push(LitaEntry { sym: id, addend: 0 });
+        }
+        m
+    }
+
+    fn defs(names: &[&str]) -> Module {
+        let mut m = Module::new("defs");
+        m.text = vec![0; 8 * names.len()];
+        for (i, n) in names.iter().enumerate() {
+            m.symbols.push(Symbol::proc(*n, 8 * i as u64, 8, 0));
+        }
+        m
+    }
+
+    #[test]
+    fn gat_entries_dedup_across_modules() {
+        let mods = vec![
+            mod_with_lita("a", &["f", "g"]),
+            mod_with_lita("b", &["g", "h"]),
+            defs(&["f", "g", "h"]),
+        ];
+        let t = build_symbol_table(&mods).unwrap();
+        let l = layout(&mods, &t, &LayoutOpts::default()).unwrap();
+        assert_eq!(l.gat_entries_input, 4);
+        assert_eq!(l.gat_slots, 3); // g is shared
+        // Both modules' `g` slots resolve to the same address.
+        assert_eq!(l.lita_addr[0][1], l.lita_addr[1][0]);
+    }
+
+    #[test]
+    fn local_symbols_do_not_merge() {
+        let mut a = Module::new("a");
+        a.text = vec![0; 8];
+        a.symbols.push(Symbol::proc("p", 0, 8, 0).local());
+        a.lita.push(LitaEntry { sym: SymId(0), addend: 0 });
+        let mut b = Module::new("b");
+        b.text = vec![0; 8];
+        b.symbols.push(Symbol::proc("p", 0, 8, 0).local());
+        b.lita.push(LitaEntry { sym: SymId(0), addend: 0 });
+        let mods = vec![a, b];
+        let t = build_symbol_table(&mods).unwrap();
+        let l = layout(&mods, &t, &LayoutOpts::default()).unwrap();
+        assert_eq!(l.gat_slots, 2);
+        assert_ne!(l.lita_addr[0][0], l.lita_addr[1][0]);
+    }
+
+    #[test]
+    fn gp_window_covers_the_gat() {
+        let mods = vec![mod_with_lita("a", &["f"]), defs(&["f"])];
+        let t = build_symbol_table(&mods).unwrap();
+        let l = layout(&mods, &t, &LayoutOpts::default()).unwrap();
+        let gp = l.gp_values[0];
+        let slot = l.lita_addr[0][0];
+        let disp = slot as i64 - gp as i64;
+        assert!(i16::try_from(disp).is_ok());
+    }
+
+    #[test]
+    fn sorted_commons_place_small_first() {
+        let mut a = Module::new("a");
+        a.symbols.push(Symbol::common("big", 4096, 8));
+        a.symbols.push(Symbol::common("tiny", 8, 8));
+        a.symbols.push(Symbol::external("f"));
+        let mods = vec![a, defs(&["f"])];
+        let t = build_symbol_table(&mods).unwrap();
+
+        let plain = layout(&mods, &t, &LayoutOpts { sort_commons: false }).unwrap();
+        let sorted = layout(&mods, &t, &LayoutOpts { sort_commons: true }).unwrap();
+        // Input order: big first. Sorted: tiny first.
+        assert!(plain.common_addr["big"] < plain.common_addr["tiny"]);
+        assert!(sorted.common_addr["tiny"] < sorted.common_addr["big"]);
+    }
+
+    #[test]
+    fn sections_do_not_overlap() {
+        let mods = vec![
+            {
+                let mut m = mod_with_lita("a", &["f"]);
+                m.sdata = vec![0; 24];
+                m.data = vec![0; 100];
+                m.bss_size = 64;
+                m.sbss_size = 16;
+                m
+            },
+            defs(&["f"]),
+        ];
+        let t = build_symbol_table(&mods).unwrap();
+        let l = layout(&mods, &t, &LayoutOpts::default()).unwrap();
+        let i = &l.info;
+        assert!(i.lita.base + i.lita.size <= i.sdata.base);
+        assert!(i.sdata.base + i.sdata.size <= i.sbss.base);
+        assert!(i.sbss.base + i.sbss.size <= i.data.base);
+        assert!(i.data.base + i.data.size <= i.bss.base);
+    }
+
+    #[test]
+    fn group_splitting_respects_capacity() {
+        // Two modules, each with GAT_GROUP_CAPACITY unique entries.
+        let mut mods = Vec::new();
+        for name in ["a", "b"] {
+            let mut m = Module::new(name);
+            m.text = vec![0; 8];
+            m.symbols.push(Symbol::proc(format!("{name}_p"), 0, 8, 0));
+            for i in 0..GAT_GROUP_CAPACITY {
+                let id = SymId(m.symbols.len() as u32);
+                m.symbols.push(Symbol::common(format!("{name}_c{i}"), 8, 8));
+                m.lita.push(LitaEntry { sym: id, addend: 0 });
+            }
+            mods.push(m);
+        }
+        let t = build_symbol_table(&mods).unwrap();
+        let l = layout(&mods, &t, &LayoutOpts::default()).unwrap();
+        assert_eq!(l.gp_values.len(), 2);
+        assert_eq!(l.group_of_module, vec![0, 1]);
+    }
+}

@@ -1,0 +1,214 @@
+//! The standard (non-optimizing) linker: the baseline OM is measured
+//! against.
+//!
+//! Links object modules and archives into an executable image: archive
+//! member selection, symbol resolution, common merging, section layout, GAT
+//! merging with deduplication (the paper: the linker "treats these GATs as
+//! literal pools, removing duplicate addresses and merging the individual
+//! GATs into a single large GAT if possible"), GP selection, and relocation.
+//!
+//! # Example
+//!
+//! ```
+//! use om_codegen::{compile_source, CompileOpts, crt0};
+//! use om_linker::Linker;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let main_obj = compile_source("main", "int main() { return 42; }", &CompileOpts::o2())?;
+//! let image = Linker::new()
+//!     .object(crt0::module()?)
+//!     .object(main_obj)
+//!     .link()?
+//!     .0;
+//! assert!(image.symbols.contains_key("main"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod image;
+pub mod layout;
+pub mod relocate;
+pub mod resolve;
+
+pub use error::LinkError;
+pub use image::{Extent, Image, LayoutInfo, Segment};
+pub use layout::{layout, sym_addr, LayoutOpts, ProgramLayout, GAT_GROUP_CAPACITY};
+pub use relocate::build_image;
+pub use resolve::{build_symbol_table, select_modules, SymbolTable};
+
+use om_objfile::{Archive, Module};
+
+/// Link statistics (feeds the build-time and GAT-size comparisons).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    pub modules: usize,
+    /// `.lita` entries across all input modules.
+    pub gat_entries_input: usize,
+    /// Slots in the merged GAT.
+    pub gat_slots: usize,
+    pub gp_groups: usize,
+    pub text_bytes: u64,
+    pub data_bytes: u64,
+}
+
+/// A builder-style linker front end.
+#[derive(Debug, Default)]
+pub struct Linker {
+    objects: Vec<Module>,
+    libs: Vec<Archive>,
+    opts: LayoutOpts,
+}
+
+impl Linker {
+    /// Creates a linker with standard layout policy.
+    pub fn new() -> Linker {
+        Linker::default()
+    }
+
+    /// Adds an explicit object module.
+    #[must_use]
+    pub fn object(mut self, m: Module) -> Linker {
+        self.objects.push(m);
+        self
+    }
+
+    /// Adds a library archive (searched in the order added).
+    #[must_use]
+    pub fn library(mut self, a: Archive) -> Linker {
+        self.libs.push(a);
+        self
+    }
+
+    /// Overrides layout policy (OM passes `sort_commons: true`).
+    #[must_use]
+    pub fn layout_opts(mut self, opts: LayoutOpts) -> Linker {
+        self.opts = opts;
+        self
+    }
+
+    /// Performs the link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] for unresolved or duplicate symbols, malformed
+    /// modules, or out-of-range relocations.
+    pub fn link(self) -> Result<(Image, LinkStats), LinkError> {
+        link_modules(self.objects, &self.libs, &self.opts)
+    }
+}
+
+/// Links `objects` (+ library members) with the given layout policy.
+///
+/// # Errors
+///
+/// See [`Linker::link`].
+pub fn link_modules(
+    objects: Vec<Module>,
+    libs: &[Archive],
+    opts: &LayoutOpts,
+) -> Result<(Image, LinkStats), LinkError> {
+    let modules = select_modules(objects, libs)?;
+    let symtab = build_symbol_table(&modules)?;
+    let lay = layout(&modules, &symtab, opts)?;
+    let image = build_image(&modules, &symtab, &lay)?;
+    let stats = LinkStats {
+        modules: modules.len(),
+        gat_entries_input: lay.gat_entries_input,
+        gat_slots: lay.gat_slots,
+        gp_groups: lay.gp_values.len(),
+        text_bytes: lay.info.text.size,
+        data_bytes: image.segments[1].bytes.len() as u64,
+    };
+    Ok((image, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_codegen::{compile_source, crt0, CompileOpts};
+
+    fn compile(name: &str, src: &str) -> Module {
+        compile_source(name, src, &CompileOpts::o2()).unwrap()
+    }
+
+    #[test]
+    fn links_a_minimal_program() {
+        let (image, stats) = Linker::new()
+            .object(crt0::module().unwrap())
+            .object(compile("m", "int main() { return 7; }"))
+            .link()
+            .unwrap();
+        assert_eq!(stats.gp_groups, 1);
+        assert!(image.entry >= image.layout.text.base);
+        assert!(stats.gat_slots >= 1); // main's address for crt0
+    }
+
+    #[test]
+    fn undefined_symbol_fails() {
+        let r = Linker::new()
+            .object(crt0::module().unwrap())
+            .object(compile("m", "extern int nowhere(int); int main() { return nowhere(1); }"))
+            .link();
+        assert!(matches!(r, Err(LinkError::Undefined { .. })));
+    }
+
+    #[test]
+    fn archives_satisfy_references() {
+        let mut lib = om_objfile::Archive::new("libm");
+        lib.add(compile("dblmod", "int dbl(int x) { return x * 2; }")).unwrap();
+        lib.add(compile("unused", "int nobody(int x) { return x; }")).unwrap();
+        let (image, stats) = Linker::new()
+            .object(crt0::module().unwrap())
+            .object(compile("m", "extern int dbl(int); int main() { return dbl(21); }"))
+            .library(lib)
+            .link()
+            .unwrap();
+        assert_eq!(stats.modules, 3, "crt0 + main + dbl, not `unused`");
+        assert!(image.symbols.contains_key("dbl"));
+        assert!(!image.symbols.contains_key("nobody"));
+    }
+
+    #[test]
+    fn gat_dedup_happens_across_modules() {
+        // Both modules call `shared`, so both have a GAT entry for it.
+        let (_, stats) = Linker::new()
+            .object(crt0::module().unwrap())
+            .object(compile(
+                "a",
+                "extern int shared(int); extern int other(int);\n\
+                 int main() { return shared(1) + other(2); }",
+            ))
+            .object(compile(
+                "b",
+                "extern int shared(int);\n\
+                 int other(int x) { return shared(x); }\n\
+                 int shared(int x) { return x; }",
+            ))
+            .link()
+            .unwrap();
+        assert!(stats.gat_slots < stats.gat_entries_input);
+    }
+
+    #[test]
+    fn duplicate_definition_fails() {
+        let r = Linker::new()
+            .object(crt0::module().unwrap())
+            .object(compile("a", "int f(int x) { return x; } int main() { return f(1); }"))
+            .object(compile("b", "int f(int x) { return x + 1; }"))
+            .link();
+        assert!(matches!(r, Err(LinkError::Duplicate { .. })));
+    }
+
+    #[test]
+    fn image_has_disjoint_segments() {
+        let (image, _) = Linker::new()
+            .object(crt0::module().unwrap())
+            .object(compile("m", "int g = 5; int main() { return g; }"))
+            .link()
+            .unwrap();
+        let t = &image.segments[0];
+        let d = &image.segments[1];
+        assert!(t.end() <= d.base);
+    }
+}

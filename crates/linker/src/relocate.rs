@@ -1,0 +1,255 @@
+//! Relocation application and image construction.
+
+use crate::error::LinkError;
+use crate::image::{Image, Segment};
+use crate::layout::{sym_addr, ProgramLayout};
+use crate::resolve::SymbolTable;
+use om_objfile::{Module, RelocKind, SecId, SymbolDef, Visibility, DATA_BASE};
+use std::collections::HashMap;
+
+fn patch16(buf: &mut [u8], off: usize, v: i16) {
+    buf[off..off + 2].copy_from_slice(&(v as u16).to_le_bytes());
+}
+
+fn patch_branch(buf: &mut [u8], off: usize, disp: i32) -> Result<(), LinkError> {
+    if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+        return Err(LinkError::Range { what: format!("branch displacement {disp}") });
+    }
+    let mut word = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    word = (word & 0xFFE0_0000) | (disp as u32 & 0x001F_FFFF);
+    buf[off..off + 4].copy_from_slice(&word.to_le_bytes());
+    Ok(())
+}
+
+/// Splits a 32-bit displacement into LDAH/LDA halves (the low half is
+/// sign-extended by hardware, so the high half compensates).
+///
+/// # Errors
+///
+/// Returns [`LinkError::Range`] when `disp` exceeds the pair's ±2GB span.
+pub fn split_gpdisp(disp: i64) -> Result<(i16, i16), LinkError> {
+    let lo = disp as i16;
+    let rest = disp - lo as i64;
+    debug_assert_eq!(rest & 0xFFFF, 0);
+    let hi = i16::try_from(rest >> 16)
+        .map_err(|_| LinkError::Range { what: format!("gpdisp {disp}") })?;
+    Ok((hi, lo))
+}
+
+/// Applies all relocations and builds the final image.
+///
+/// # Errors
+///
+/// Returns [`LinkError`] on unresolvable symbols or out-of-range fields.
+pub fn build_image(
+    modules: &[Module],
+    symtab: &SymbolTable,
+    layout: &ProgramLayout,
+) -> Result<Image, LinkError> {
+    // Text segment.
+    let text_size = layout.info.text.size as usize;
+    let mut text = vec![0u8; text_size];
+    for (mi, m) in modules.iter().enumerate() {
+        let off = (layout.bases[mi].text - layout.info.text.base) as usize;
+        text[off..off + m.text.len()].copy_from_slice(&m.text);
+    }
+
+    // Data segment covers everything from the GAT through the end of .bss.
+    let data_end = layout.info.bss.base + layout.info.bss.size;
+    let mut data = vec![0u8; (data_end - DATA_BASE) as usize];
+    for (mi, m) in modules.iter().enumerate() {
+        let b = &layout.bases[mi];
+        let s = (b.sdata - DATA_BASE) as usize;
+        data[s..s + m.sdata.len()].copy_from_slice(&m.sdata);
+        let d = (b.data - DATA_BASE) as usize;
+        data[d..d + m.data.len()].copy_from_slice(&m.data);
+    }
+
+    // Fill the merged GAT: every module writes its resolved slot values
+    // (deduplicated slots are written multiple times with identical values).
+    for (mi, m) in modules.iter().enumerate() {
+        for (li, e) in m.lita.iter().enumerate() {
+            let v = (sym_addr(modules, symtab, layout, mi, e.sym)? as i64 + e.addend) as u64;
+            let slot = layout.lita_addr[mi][li];
+            let off = (slot - DATA_BASE) as usize;
+            data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    // Apply relocations.
+    for (mi, m) in modules.iter().enumerate() {
+        let bases = &layout.bases[mi];
+        let gp = layout.gp_values[layout.group_of_module[mi] as usize];
+        for r in &m.relocs {
+            match (r.sec, &r.kind) {
+                (SecId::Text, RelocKind::Literal { lita }) => {
+                    let slot = layout.lita_addr[mi][*lita as usize];
+                    let disp = slot as i64 - gp as i64;
+                    let d = i16::try_from(disp).map_err(|_| LinkError::Range {
+                        what: format!("GAT slot {disp} bytes from GP in `{}`", m.name),
+                    })?;
+                    let off = (bases.text - layout.info.text.base + r.offset) as usize;
+                    patch16(&mut text, off, d);
+                }
+                (SecId::Text, RelocKind::Gpdisp { pair_offset, anchor, .. }) => {
+                    let disp = gp as i64 - (bases.text + anchor) as i64;
+                    let (hi, lo) = split_gpdisp(disp)?;
+                    let hi_off = (bases.text - layout.info.text.base + r.offset) as usize;
+                    let lo_off = (hi_off as i64 + pair_offset) as usize;
+                    patch16(&mut text, hi_off, hi);
+                    patch16(&mut text, lo_off, lo);
+                }
+                (SecId::Text, RelocKind::BrAddr { sym, addend }) => {
+                    let target = (sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend) as u64;
+                    let pc = bases.text + r.offset;
+                    let delta = target as i64 - (pc as i64 + 4);
+                    debug_assert_eq!(delta % 4, 0);
+                    let off = (pc - layout.info.text.base) as usize;
+                    patch_branch(&mut text, off, (delta / 4) as i32)?;
+                }
+                (SecId::Text, RelocKind::Gprel16 { sym, addend, .. }) => {
+                    let target =
+                        sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend;
+                    let disp = target - gp as i64;
+                    let d = i16::try_from(disp).map_err(|_| LinkError::Range {
+                        what: format!("gprel16 {disp} in `{}`", m.name),
+                    })?;
+                    let off = (bases.text - layout.info.text.base + r.offset) as usize;
+                    patch16(&mut text, off, d);
+                }
+                (SecId::Text, RelocKind::GprelHigh { sym, addend, .. }) => {
+                    let target = sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend;
+                    let (hi, _) = split_gpdisp(target - gp as i64)?;
+                    let off = (bases.text - layout.info.text.base + r.offset) as usize;
+                    patch16(&mut text, off, hi);
+                }
+                (SecId::Text, RelocKind::GprelLow { sym, addend, hi_addend, .. }) => {
+                    let target = sym_addr(modules, symtab, layout, mi, *sym)?;
+                    let (hi, _) = split_gpdisp(target as i64 + hi_addend - gp as i64)?;
+                    let disp = target as i64 + addend - gp as i64 - ((hi as i64) << 16);
+                    let d = i16::try_from(disp).map_err(|_| LinkError::Range {
+                        what: format!("gprellow {disp} in `{}`", m.name),
+                    })?;
+                    let off = (bases.text - layout.info.text.base + r.offset) as usize;
+                    patch16(&mut text, off, d);
+                }
+                (SecId::Text, _) => {} // LITUSE hints need no patching
+                (sec, RelocKind::RefQuad { sym, addend }) => {
+                    let v = (sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend) as u64;
+                    let base = match sec {
+                        SecId::Data => bases.data,
+                        SecId::Sdata => bases.sdata,
+                        _ => {
+                            return Err(LinkError::Range {
+                                what: format!("refquad in zero-fill section {sec}"),
+                            })
+                        }
+                    };
+                    let off = (base - DATA_BASE + r.offset) as usize;
+                    data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                (sec, other) => {
+                    return Err(LinkError::Range {
+                        what: format!("unsupported relocation {other:?} in {sec}"),
+                    })
+                }
+            }
+        }
+    }
+
+    // Symbol map: exported strong symbols plus local procedures (qualified).
+    let mut symbols: HashMap<String, u64> = HashMap::new();
+    for (name, &(mi, id)) in &symtab.globals {
+        symbols.insert(name.clone(), sym_addr(modules, symtab, layout, mi, id)?);
+    }
+    for (name, &addr) in &layout.common_addr {
+        symbols.insert(name.clone(), addr);
+    }
+    for (mi, m) in modules.iter().enumerate() {
+        for (id, s) in m.symbols_with_ids() {
+            if s.vis == Visibility::Local && matches!(s.def, SymbolDef::Proc { .. }) {
+                symbols
+                    .entry(format!("{}.{}", s.name, m.name))
+                    .or_insert(sym_addr(modules, symtab, layout, mi, id)?);
+            }
+        }
+    }
+
+    let entry = *symbols.get("__start").ok_or(LinkError::NoEntry)?;
+
+    Ok(Image {
+        segments: vec![
+            Segment { base: layout.info.text.base, bytes: text },
+            Segment { base: DATA_BASE, bytes: data },
+        ],
+        entry,
+        symbols,
+        layout: layout.info.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpdisp_split_reconstructs() {
+        for disp in [0i64, 1, -1, 32767, -32768, 32768, 0x1234_5678, -0x1234_5678, 0x7FFF_7FFF] {
+            let (hi, lo) = split_gpdisp(disp).unwrap();
+            assert_eq!(((hi as i64) << 16) + lo as i64, disp, "disp {disp:#x}");
+        }
+    }
+
+    #[test]
+    fn gpdisp_split_rejects_out_of_range() {
+        assert!(split_gpdisp(1 << 40).is_err());
+        assert!(split_gpdisp(-(1 << 40)).is_err());
+        // The exact boundary: hi must fit i16 after low-half compensation.
+        assert!(split_gpdisp(0x7FFF_7FFF).is_ok());
+        assert!(split_gpdisp(0x7FFF_8000).is_err());
+    }
+
+    #[test]
+    fn gpdisp_low_half_sign_compensation() {
+        // A displacement whose low 16 bits are "negative" forces hi up by 1.
+        let disp = 0x0001_8000; // lo = -32768, hi = 2
+        let (hi, lo) = split_gpdisp(disp).unwrap();
+        assert_eq!(lo, -32768);
+        assert_eq!(hi, 2);
+    }
+
+    #[test]
+    fn branch_patch_bounds() {
+        let mut buf = vec![0u8; 4];
+        assert!(patch_branch(&mut buf, 0, (1 << 20) - 1).is_ok());
+        assert!(patch_branch(&mut buf, 0, -(1 << 20)).is_ok());
+        assert!(patch_branch(&mut buf, 0, 1 << 20).is_err());
+        assert!(patch_branch(&mut buf, 0, -(1 << 20) - 1).is_err());
+    }
+
+    #[test]
+    fn branch_patch_preserves_opcode_bits() {
+        let word = om_alpha::encode(om_alpha::Inst::Br {
+            op: om_alpha::BrOp::Bsr,
+            ra: om_alpha::Reg::RA,
+            disp: 0,
+        });
+        let mut buf = word.to_le_bytes().to_vec();
+        patch_branch(&mut buf, 0, -7).unwrap();
+        let patched = u32::from_le_bytes(buf.try_into().unwrap());
+        match om_alpha::decode(patched).unwrap() {
+            om_alpha::Inst::Br { op: om_alpha::BrOp::Bsr, ra, disp } => {
+                assert_eq!(ra, om_alpha::Reg::RA);
+                assert_eq!(disp, -7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn patch16_writes_little_endian() {
+        let mut buf = vec![0u8; 4];
+        patch16(&mut buf, 0, -2);
+        assert_eq!(&buf[..2], &[0xFE, 0xFF]);
+    }
+}

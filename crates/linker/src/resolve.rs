@@ -1,0 +1,197 @@
+//! Input resolution: archive member selection, the global symbol table, and
+//! common-symbol merging.
+
+use crate::error::LinkError;
+use om_objfile::{Archive, Module, SymbolDef, SymId, Visibility};
+use std::collections::HashMap;
+
+/// Selects the modules participating in a link: all explicit objects plus
+/// any archive members (transitively) needed to satisfy undefined symbols,
+/// in archive order — the `ld` discipline that brings pre-compiled library
+/// code into the program.
+///
+/// # Errors
+///
+/// Returns [`LinkError::Object`] if any module fails validation.
+pub fn select_modules(
+    objects: Vec<Module>,
+    libs: &[Archive],
+) -> Result<Vec<Module>, LinkError> {
+    for m in &objects {
+        m.validate()?;
+    }
+    let mut defined: HashMap<&str, ()> = HashMap::new();
+    let mut undefined: Vec<String> = Vec::new();
+    for m in &objects {
+        for s in &m.symbols {
+            if s.is_defined() && s.vis == Visibility::Exported {
+                defined.insert(&s.name, ());
+            }
+        }
+    }
+    for m in &objects {
+        for s in &m.symbols {
+            if !s.is_defined() && !defined.contains_key(s.name.as_str()) {
+                undefined.push(s.name.clone());
+            }
+        }
+    }
+
+    let mut out = objects.clone();
+    for lib in libs {
+        let picked = lib.select(undefined.iter().cloned());
+        // Members may satisfy each other; recompute what is still undefined
+        // for the *next* archive.
+        for m in picked {
+            out.push(m.clone());
+        }
+        let now_defined: HashMap<&str, ()> = out
+            .iter()
+            .flat_map(|m| m.symbols.iter())
+            .filter(|s| s.is_defined() && s.vis == Visibility::Exported)
+            .map(|s| (s.name.as_str(), ()))
+            .collect();
+        undefined = out
+            .iter()
+            .flat_map(|m| m.symbols.iter())
+            .filter(|s| !s.is_defined() && !now_defined.contains_key(s.name.as_str()))
+            .map(|s| s.name.clone())
+            .collect();
+    }
+    Ok(out)
+}
+
+/// The program-wide symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Exported strong definitions: name → (module index, symbol id).
+    pub globals: HashMap<String, (usize, SymId)>,
+    /// Names defined only as commons: name → (max size, max align).
+    pub commons: HashMap<String, (u64, u64)>,
+}
+
+/// Builds the symbol table over the selected modules.
+///
+/// Strong definitions (procedures, data) override common (tentative)
+/// definitions; duplicate strong definitions are an error; every referenced
+/// name must end up defined.
+///
+/// # Errors
+///
+/// Returns [`LinkError::Duplicate`] or [`LinkError::Undefined`].
+pub fn build_symbol_table(modules: &[Module]) -> Result<SymbolTable, LinkError> {
+    let mut table = SymbolTable::default();
+    for (mi, m) in modules.iter().enumerate() {
+        for (id, s) in m.symbols_with_ids() {
+            if s.vis != Visibility::Exported {
+                continue;
+            }
+            match &s.def {
+                SymbolDef::Proc { .. } | SymbolDef::Data { .. } => {
+                    if let Some(&(prev, _)) = table.globals.get(&s.name) {
+                        return Err(LinkError::Duplicate {
+                            name: s.name.clone(),
+                            modules: (modules[prev].name.clone(), m.name.clone()),
+                        });
+                    }
+                    table.globals.insert(s.name.clone(), (mi, id));
+                }
+                SymbolDef::Common { size, align } => {
+                    let e = table.commons.entry(s.name.clone()).or_insert((0, 8));
+                    e.0 = e.0.max(*size);
+                    e.1 = e.1.max(*align);
+                }
+                SymbolDef::Extern => {}
+            }
+        }
+    }
+    // Strong definitions override commons.
+    for name in table.globals.keys() {
+        table.commons.remove(name.as_str());
+        let _ = name;
+    }
+    let resolved: HashMap<&str, ()> = table
+        .globals
+        .keys()
+        .map(|k| (k.as_str(), ()))
+        .chain(table.commons.keys().map(|k| (k.as_str(), ())))
+        .collect();
+    for m in modules {
+        for s in &m.symbols {
+            if !s.is_defined() && !resolved.contains_key(s.name.as_str()) {
+                return Err(LinkError::Undefined {
+                    name: s.name.clone(),
+                    referenced_by: m.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_objfile::Symbol;
+
+    fn module(name: &str, defs: &[&str], refs: &[&str]) -> Module {
+        let mut m = Module::new(name);
+        m.text = vec![0; 8 * defs.len().max(1)];
+        for (i, d) in defs.iter().enumerate() {
+            m.symbols.push(Symbol::proc(*d, 8 * i as u64, 8, 0));
+        }
+        for r in refs {
+            m.symbols.push(Symbol::external(*r));
+        }
+        m
+    }
+
+    #[test]
+    fn library_members_are_pulled_transitively() {
+        let mut lib = Archive::new("libstd");
+        lib.add(module("a", &["alpha"], &["beta"])).unwrap();
+        lib.add(module("b", &["beta"], &[])).unwrap();
+        lib.add(module("c", &["gamma"], &[])).unwrap();
+        let mods = select_modules(vec![module("main", &["main"], &["alpha"])], &[lib]).unwrap();
+        let names: Vec<&str> = mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["main", "a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_strong_definitions_rejected() {
+        let e = build_symbol_table(&[module("x", &["f"], &[]), module("y", &["f"], &[])]);
+        assert!(matches!(e, Err(LinkError::Duplicate { .. })));
+    }
+
+    #[test]
+    fn undefined_reference_reported_with_referrer() {
+        let e = build_symbol_table(&[module("m", &["main"], &["mystery"])]);
+        match e {
+            Err(LinkError::Undefined { name, referenced_by }) => {
+                assert_eq!(name, "mystery");
+                assert_eq!(referenced_by, "m");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn commons_merge_to_max_and_strong_wins() {
+        let mut a = Module::new("a");
+        a.symbols.push(Symbol::common("buf", 100, 8));
+        let mut b = Module::new("b");
+        b.symbols.push(Symbol::common("buf", 200, 16));
+        let t = build_symbol_table(&[a.clone(), b]).unwrap();
+        assert_eq!(t.commons["buf"], (200, 16));
+
+        // Now a strong definition of buf appears: commons drop out.
+        let mut strong = Module::new("s");
+        strong.data = vec![0; 8];
+        strong
+            .symbols
+            .push(Symbol::data("buf", om_objfile::SecId::Data, 0, 8));
+        let t = build_symbol_table(&[a, strong]).unwrap();
+        assert!(t.commons.is_empty());
+        assert!(t.globals.contains_key("buf"));
+    }
+}

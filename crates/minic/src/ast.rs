@@ -1,0 +1,246 @@
+//! Abstract syntax for mini-C.
+//!
+//! mini-C is the source language of the reproduction's compiler: a small,
+//! C-shaped language with 64-bit integers, IEEE doubles, global scalars and
+//! fixed-size global arrays, exported and `static` functions, and function
+//! pointers (`fnptr`) — the paper's "procedure variables", whose presence is
+//! what keeps OM-full from deleting the last few PV loads.
+
+use std::fmt;
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// IEEE double.
+    Float,
+    /// Pointer to a function (procedure variable).
+    Fnptr,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Fnptr => write!(f, "fnptr"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitXor,
+    BitOr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit logical and/or.
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// True for operators that yield `int` regardless of operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for operators restricted to `int` operands.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem
+                | BinOp::Shl
+                | BinOp::Shr
+                | BinOp::BitAnd
+                | BinOp::BitXor
+                | BinOp::BitOr
+                | BinOp::LogAnd
+                | BinOp::LogOr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    /// Logical not (yields 0/1).
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    FloatLit(f64),
+    /// A variable reference: local, parameter, or global scalar.
+    Var(String),
+    /// Global array element: `name[index]`.
+    Index { name: String, index: Box<Expr> },
+    Unary { op: UnOp, expr: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Direct call: `name(args)`. If `name` is a variable of type `fnptr`,
+    /// this is an indirect call through a procedure variable.
+    Call { name: String, args: Vec<Expr> },
+    /// `&name` — address of a function.
+    AddrOf(String),
+    /// Casts: `int(e)` / `float(e)`.
+    Cast { ty: Type, expr: Box<Expr> },
+}
+
+/// L-values assignable by `=`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Var(String),
+    Index { name: String, index: Box<Expr> },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with mandatory initializer: `int x = e;`.
+    Local { ty: Type, name: String, init: Expr },
+    Assign { lhs: LValue, rhs: Expr },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While { cond: Expr, body: Vec<Stmt> },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Expr,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+    /// Expression evaluated for effect (calls).
+    Expr(Expr),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub ty: Type,
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub name: String,
+    /// `static` functions are unexported (local visibility).
+    pub is_static: bool,
+    pub ret: Option<Type>,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+}
+
+/// Initializer for a global definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized (goes to `.bss`/`.sbss`).
+    Zero,
+    Int(i64),
+    Float(f64),
+    /// `&function` for a `fnptr` global.
+    FnAddr(String),
+    /// Constant element list for an array.
+    List(Vec<i64>),
+    FloatList(Vec<f64>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    pub name: String,
+    pub is_static: bool,
+    pub ty: Type,
+    /// `Some(n)` for an array of `n` elements, `None` for a scalar.
+    pub array_len: Option<u64>,
+    pub init: GlobalInit,
+}
+
+impl Global {
+    /// Size in bytes (elements are 8 bytes; `int`, `float`, and `fnptr` are
+    /// all quadwords).
+    pub fn size_bytes(&self) -> u64 {
+        8 * self.array_len.unwrap_or(1)
+    }
+}
+
+/// An `extern` declaration of a function defined elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternFn {
+    pub name: String,
+    pub ret: Option<Type>,
+    pub params: Vec<Type>,
+}
+
+/// An `extern` declaration of a global defined elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternGlobal {
+    pub name: String,
+    pub ty: Type,
+    pub array_len: Option<u64>,
+}
+
+/// One compilation unit (a source file).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    pub name: String,
+    pub globals: Vec<Global>,
+    pub extern_fns: Vec<ExternFn>,
+    pub extern_globals: Vec<ExternGlobal>,
+    pub functions: Vec<Function>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_sizes() {
+        let scalar = Global {
+            name: "x".into(),
+            is_static: false,
+            ty: Type::Int,
+            array_len: None,
+            init: GlobalInit::Zero,
+        };
+        assert_eq!(scalar.size_bytes(), 8);
+        let arr = Global { array_len: Some(100), ..scalar };
+        assert_eq!(arr.size_bytes(), 800);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Shl.int_only());
+        assert!(!BinOp::Div.int_only());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Fnptr.to_string(), "fnptr");
+    }
+}

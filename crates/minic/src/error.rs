@@ -1,0 +1,35 @@
+//! Compilation errors for the mini-C frontend.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, or semantic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    Lex { line: u32, what: String },
+    Parse { line: u32, what: String },
+    /// Semantic error; `ctx` names the function or global involved.
+    Sema { ctx: String, what: String },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex { line, what } => write!(f, "lex error at line {line}: {what}"),
+            CompileError::Parse { line, what } => write!(f, "parse error at line {line}: {what}"),
+            CompileError::Sema { ctx, what } => write!(f, "semantic error in `{ctx}`: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = CompileError::Sema { ctx: "main".into(), what: "bad".into() };
+        assert_eq!(e.to_string(), "semantic error in `main`: bad");
+    }
+}

@@ -1,0 +1,608 @@
+//! A reference interpreter for lowered programs.
+//!
+//! The interpreter defines the observable semantics of mini-C independently
+//! of the whole compile–link–optimize–simulate pipeline. Integration tests
+//! run every benchmark twice — here and in `om-sim` after each OM level — and
+//! demand identical results, which is the strongest correctness oracle the
+//! reproduction has: OM transformations must preserve program behavior
+//! exactly.
+//!
+//! Semantics pinned down here (and matched by codegen + simulator):
+//!
+//! * integer arithmetic wraps at 64 bits; shifts use the low 6 bits of the
+//!   count (Alpha semantics);
+//! * integer division by zero yields 0 and remainder by zero yields the
+//!   dividend (the convention implemented by the library's `__divq`/`__remq`);
+//! * float→int conversion truncates (saturating at the i64 range);
+//! * procedure values are opaque handles; calling a null `fnptr` is an error.
+
+use crate::ast::{GlobalInit, Type};
+use crate::ir::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Runtime errors (these abort a run; well-formed benchmarks never hit them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// Executed more than the step budget — runaway loop.
+    StepLimit,
+    UnknownFunction(String),
+    NullFnptr,
+    IndexOutOfBounds { sym: String, index: i64, len: u64 },
+    /// Call depth exceeded.
+    StackOverflow,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::NullFnptr => write!(f, "indirect call through null fnptr"),
+            InterpError::IndexOutOfBounds { sym, index, len } => {
+                write!(f, "index {index} out of bounds for `{sym}` (len {len})")
+            }
+            InterpError::StackOverflow => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Wrapping-i64 division with the library convention for zero divisors.
+pub fn div_convention(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        0
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+/// Wrapping-i64 remainder with the library convention for zero divisors.
+pub fn rem_convention(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        a.wrapping_rem(b)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Slot {
+    I(i64),
+    F(f64),
+}
+
+/// A function handle: (unit index, function index), encoded 1-based into an
+/// i64 so that 0 is the null procedure value.
+fn encode_handle(unit: usize, func: usize) -> i64 {
+    ((unit as i64) << 32 | func as i64) + 1
+}
+
+fn decode_handle(v: i64) -> Option<(usize, usize)> {
+    if v <= 0 {
+        return None;
+    }
+    let v = v - 1;
+    Some(((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize))
+}
+
+struct GlobalCell {
+    ty: Type,
+    data: Vec<Slot>,
+}
+
+/// An executable interpreted program: lowered units with resolved names.
+pub struct Program<'a> {
+    units: &'a [IrUnit],
+    /// (unit, name) → global cell index; statics are keyed by their unit,
+    /// exported globals by `usize::MAX`.
+    globals: Vec<GlobalCell>,
+    global_index: HashMap<(usize, String), usize>,
+    /// Function resolution: exported name → handle.
+    exported_fns: HashMap<String, (usize, usize)>,
+    /// Per-unit function table (covers statics).
+    unit_fns: Vec<HashMap<String, usize>>,
+    /// Remaining step budget.
+    steps: u64,
+}
+
+const EXPORTED: usize = usize::MAX;
+const MAX_DEPTH: usize = 256;
+
+impl<'a> Program<'a> {
+    /// Builds a program from lowered units, initializing globals.
+    pub fn new(units: &'a [IrUnit]) -> Program<'a> {
+        let mut p = Program {
+            units,
+            globals: Vec::new(),
+            global_index: HashMap::new(),
+            exported_fns: HashMap::new(),
+            unit_fns: Vec::new(),
+            steps: 0,
+        };
+        for (ui, unit) in units.iter().enumerate() {
+            let mut table = HashMap::new();
+            for (fi, f) in unit.functions.iter().enumerate() {
+                table.insert(f.name.clone(), fi);
+                if !f.is_static {
+                    p.exported_fns.entry(f.name.clone()).or_insert((ui, fi));
+                }
+            }
+            p.unit_fns.push(table);
+        }
+        // Globals after functions so fnptr initializers can resolve.
+        for (ui, unit) in units.iter().enumerate() {
+            for g in &unit.globals {
+                let n = g.array_len.unwrap_or(1) as usize;
+                let mut data = vec![
+                    match g.ty {
+                        Type::Float => Slot::F(0.0),
+                        _ => Slot::I(0),
+                    };
+                    n
+                ];
+                match &g.init {
+                    GlobalInit::Zero => {}
+                    GlobalInit::Int(v) => data[0] = Slot::I(*v),
+                    GlobalInit::Float(v) => data[0] = Slot::F(*v),
+                    GlobalInit::FnAddr(f) => {
+                        let h = p
+                            .exported_fns
+                            .get(f)
+                            .copied()
+                            .or_else(|| p.unit_fns[ui].get(f).map(|&fi| (ui, fi)))
+                            .map(|(u, fi)| encode_handle(u, fi))
+                            .unwrap_or(0);
+                        data[0] = Slot::I(h);
+                    }
+                    GlobalInit::List(vs) => {
+                        for (i, v) in vs.iter().enumerate().take(n) {
+                            data[i] = Slot::I(*v);
+                        }
+                    }
+                    GlobalInit::FloatList(vs) => {
+                        for (i, v) in vs.iter().enumerate().take(n) {
+                            data[i] = Slot::F(*v);
+                        }
+                    }
+                }
+                let idx = p.globals.len();
+                p.globals.push(GlobalCell { ty: g.ty, data });
+                let key = if g.is_static { ui } else { EXPORTED };
+                p.global_index.insert((key, g.name.clone()), idx);
+            }
+        }
+        p
+    }
+
+    fn find_global(&self, unit: usize, name: &str) -> usize {
+        *self
+            .global_index
+            .get(&(unit, name.to_string()))
+            .or_else(|| self.global_index.get(&(EXPORTED, name.to_string())))
+            .unwrap_or_else(|| panic!("unresolved global `{name}`"))
+    }
+
+    fn resolve_fn(&self, unit: usize, name: &str) -> Result<(usize, usize), InterpError> {
+        if let Some(&fi) = self.unit_fns[unit].get(name) {
+            return Ok((unit, fi));
+        }
+        self.exported_fns
+            .get(name)
+            .copied()
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))
+    }
+
+    /// Runs exported `main` with `steps` as the execution budget; returns the
+    /// program's integer result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on runaway execution or ill-formed calls.
+    pub fn run_main(&mut self, steps: u64) -> Result<i64, InterpError> {
+        self.steps = steps;
+        let (u, f) = self
+            .exported_fns
+            .get("main")
+            .copied()
+            .ok_or_else(|| InterpError::UnknownFunction("main".to_string()))?;
+        match self.call(u, f, &[], 0)? {
+            Slot::I(v) => Ok(v),
+            Slot::F(v) => Ok(v as i64),
+        }
+    }
+
+    fn call(
+        &mut self,
+        unit: usize,
+        func: usize,
+        args: &[Slot],
+        depth: usize,
+    ) -> Result<Slot, InterpError> {
+        if depth > MAX_DEPTH {
+            return Err(InterpError::StackOverflow);
+        }
+        let f = &self.units[unit].functions[func];
+        let mut ints = vec![0i64; f.n_int as usize];
+        let mut fps = vec![0f64; f.n_fp as usize];
+        for (i, &p) in f.params.iter().enumerate() {
+            let a = args.get(i).copied().unwrap_or(Slot::I(0));
+            match (p.class, a) {
+                (Class::Int, Slot::I(v)) => ints[p.id as usize] = v,
+                (Class::Fp, Slot::F(v)) => fps[p.id as usize] = v,
+                // Callers coerce; mismatches only arise from indirect calls.
+                (Class::Int, Slot::F(v)) => ints[p.id as usize] = v as i64,
+                (Class::Fp, Slot::I(v)) => fps[p.id as usize] = v as f64,
+            }
+        }
+
+        // Label → instruction index map.
+        let mut labels: HashMap<Label, usize> = HashMap::new();
+        for (i, inst) in f.body.iter().enumerate() {
+            if let Ir::Label(l) = inst {
+                labels.insert(*l, i);
+            }
+        }
+
+        let geti = |ints: &[i64], v: Val| -> i64 {
+            match v {
+                Val::R(r) => ints[r.id as usize],
+                Val::I(c) => c,
+                Val::F(c) => c as i64,
+            }
+        };
+        let getf = |fps: &[f64], v: Val| -> f64 {
+            match v {
+                Val::R(r) => fps[r.id as usize],
+                Val::F(c) => c,
+                Val::I(c) => c as f64,
+            }
+        };
+
+        let mut pc = 0usize;
+        loop {
+            if self.steps == 0 {
+                return Err(InterpError::StepLimit);
+            }
+            self.steps -= 1;
+            let inst = &f.body[pc];
+            pc += 1;
+            match inst {
+                Ir::Label(_) => {}
+                Ir::Jump(l) => pc = labels[l],
+                Ir::Branch { cond, when_zero, target } => {
+                    let c = ints[cond.id as usize];
+                    if (c == 0) == *when_zero {
+                        pc = labels[target];
+                    }
+                }
+                Ir::BinI { op, dst, a, b } => {
+                    let x = geti(&ints, *a);
+                    let y = geti(&ints, *b);
+                    ints[dst.id as usize] = match op {
+                        IBin::Add => x.wrapping_add(y),
+                        IBin::Sub => x.wrapping_sub(y),
+                        IBin::Mul => x.wrapping_mul(y),
+                        IBin::And => x & y,
+                        IBin::Or => x | y,
+                        IBin::Xor => x ^ y,
+                        IBin::Shl => x.wrapping_shl((y & 63) as u32),
+                        IBin::Shr => x.wrapping_shr((y & 63) as u32),
+                    };
+                }
+                Ir::BinF { op, dst, a, b } => {
+                    let x = getf(&fps, *a);
+                    let y = getf(&fps, *b);
+                    fps[dst.id as usize] = match op {
+                        FBin::Add => x + y,
+                        FBin::Sub => x - y,
+                        FBin::Mul => x * y,
+                        FBin::Div => x / y,
+                    };
+                }
+                Ir::CmpI { op, dst, a, b } => {
+                    let x = geti(&ints, *a);
+                    let y = geti(&ints, *b);
+                    ints[dst.id as usize] = cmp_i(*op, x, y);
+                }
+                Ir::CmpF { op, dst, a, b } => {
+                    let x = getf(&fps, *a);
+                    let y = getf(&fps, *b);
+                    ints[dst.id as usize] = cmp_f(*op, x, y);
+                }
+                Ir::MovI { dst, src } => ints[dst.id as usize] = geti(&ints, *src),
+                Ir::MovF { dst, src } => fps[dst.id as usize] = getf(&fps, *src),
+                Ir::CvtIF { dst, src } => fps[dst.id as usize] = geti(&ints, *src) as f64,
+                Ir::CvtFI { dst, src } => ints[dst.id as usize] = getf(&fps, *src) as i64,
+                Ir::LdGlobal { dst, sym } => {
+                    let g = &self.globals[self.find_global(unit, sym)];
+                    match (dst.class, g.data[0]) {
+                        (Class::Int, Slot::I(v)) => ints[dst.id as usize] = v,
+                        (Class::Fp, Slot::F(v)) => fps[dst.id as usize] = v,
+                        _ => unreachable!("global class mismatch"),
+                    }
+                }
+                Ir::StGlobal { sym, src } => {
+                    let gi = self.find_global(unit, sym);
+                    let slot = match self.globals[gi].ty {
+                        Type::Float => Slot::F(getf(&fps, *src)),
+                        _ => Slot::I(geti(&ints, *src)),
+                    };
+                    self.globals[gi].data[0] = slot;
+                }
+                Ir::LdElem { dst, sym, index } => {
+                    let i = geti(&ints, *index);
+                    let g = &self.globals[self.find_global(unit, sym)];
+                    let len = g.data.len() as u64;
+                    if i < 0 || i as u64 >= len {
+                        return Err(InterpError::IndexOutOfBounds {
+                            sym: sym.clone(),
+                            index: i,
+                            len,
+                        });
+                    }
+                    match (dst.class, g.data[i as usize]) {
+                        (Class::Int, Slot::I(v)) => ints[dst.id as usize] = v,
+                        (Class::Fp, Slot::F(v)) => fps[dst.id as usize] = v,
+                        _ => unreachable!("element class mismatch"),
+                    }
+                }
+                Ir::StElem { sym, index, src } => {
+                    let i = geti(&ints, *index);
+                    let gi = self.find_global(unit, sym);
+                    let len = self.globals[gi].data.len() as u64;
+                    if i < 0 || i as u64 >= len {
+                        return Err(InterpError::IndexOutOfBounds {
+                            sym: sym.clone(),
+                            index: i,
+                            len,
+                        });
+                    }
+                    let slot = match self.globals[gi].ty {
+                        Type::Float => Slot::F(getf(&fps, *src)),
+                        _ => Slot::I(geti(&ints, *src)),
+                    };
+                    self.globals[gi].data[i as usize] = slot;
+                }
+                Ir::LdFnAddr { dst, sym } => {
+                    let (u, fi) = self.resolve_fn(unit, sym)?;
+                    ints[dst.id as usize] = encode_handle(u, fi);
+                }
+                Ir::Call { dst, name, args } => {
+                    let arg_slots: Vec<Slot> = {
+                        let callee_params = self.callee_params(unit, name);
+                        args.iter()
+                            .enumerate()
+                            .map(|(i, &v)| match callee_params.get(i) {
+                                Some(Class::Fp) => Slot::F(getf(&fps, v)),
+                                _ => Slot::I(geti(&ints, v)),
+                            })
+                            .collect()
+                    };
+                    let result = match self.resolve_fn(unit, name) {
+                        Ok((u, fi)) => self.call(u, fi, &arg_slots, depth + 1)?,
+                        Err(e) => {
+                            // Builtin fallback for the divide millicode when
+                            // no library defines it (unit tests).
+                            let as_i = |s: &Slot| match *s {
+                                Slot::I(v) => v,
+                                Slot::F(v) => v as i64,
+                            };
+                            match name.as_str() {
+                                "__divq" => Slot::I(div_convention(
+                                    as_i(&arg_slots[0]),
+                                    as_i(&arg_slots[1]),
+                                )),
+                                "__remq" => Slot::I(rem_convention(
+                                    as_i(&arg_slots[0]),
+                                    as_i(&arg_slots[1]),
+                                )),
+                                _ => return Err(e),
+                            }
+                        }
+                    };
+                    if let Some(d) = dst {
+                        match (d.class, result) {
+                            (Class::Int, Slot::I(v)) => ints[d.id as usize] = v,
+                            (Class::Fp, Slot::F(v)) => fps[d.id as usize] = v,
+                            (Class::Int, Slot::F(v)) => ints[d.id as usize] = v as i64,
+                            (Class::Fp, Slot::I(v)) => fps[d.id as usize] = v as f64,
+                        }
+                    }
+                }
+                Ir::CallInd { dst, target, args } => {
+                    let h = ints[target.id as usize];
+                    let (u, fi) = decode_handle(h).ok_or(InterpError::NullFnptr)?;
+                    let arg_slots: Vec<Slot> =
+                        args.iter().map(|&v| Slot::I(geti(&ints, v))).collect();
+                    let result = self.call(u, fi, &arg_slots, depth + 1)?;
+                    if let Some(d) = dst {
+                        match result {
+                            Slot::I(v) => ints[d.id as usize] = v,
+                            Slot::F(v) => ints[d.id as usize] = v as i64,
+                        }
+                    }
+                }
+                Ir::Ret(v) => {
+                    return Ok(match v {
+                        None => Slot::I(0),
+                        Some(v) => match f.ret {
+                            Class::Int => Slot::I(geti(&ints, *v)),
+                            Class::Fp => Slot::F(getf(&fps, *v)),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Parameter classes of a callee (empty if unknown — builtin).
+    fn callee_params(&self, unit: usize, name: &str) -> Vec<Class> {
+        if let Ok((u, fi)) = self.resolve_fn(unit, name) {
+            self.units[u].functions[fi]
+                .params
+                .iter()
+                .map(|p| p.class)
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn cmp_i(op: Cmp, x: i64, y: i64) -> i64 {
+    let b = match op {
+        Cmp::Eq => x == y,
+        Cmp::Ne => x != y,
+        Cmp::Lt => x < y,
+        Cmp::Le => x <= y,
+        Cmp::Gt => x > y,
+        Cmp::Ge => x >= y,
+    };
+    b as i64
+}
+
+fn cmp_f(op: Cmp, x: f64, y: f64) -> i64 {
+    let b = match op {
+        Cmp::Eq => x == y,
+        Cmp::Ne => x != y,
+        Cmp::Lt => x < y,
+        Cmp::Le => x <= y,
+        Cmp::Gt => x > y,
+        Cmp::Ge => x >= y,
+    };
+    b as i64
+}
+
+/// Convenience: parse, lower, and run a set of sources as one program.
+///
+/// # Errors
+///
+/// Propagates compile and runtime errors as strings (test helper).
+pub fn run_sources(sources: &[(&str, &str)], steps: u64) -> Result<i64, String> {
+    let units: Vec<IrUnit> = sources
+        .iter()
+        .map(|(name, src)| {
+            crate::parser::parse_unit(name, src)
+                .and_then(|u| crate::lower::lower_unit(&u))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    Program::new(&units).run_main(steps).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> i64 {
+        run_sources(&[("t", src)], 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        assert_eq!(run("int main() { int s = 0; int i = 0; for (i = 1; i <= 10; i = i + 1) { s = s + i; } return s; }"), 55);
+    }
+
+    #[test]
+    fn division_convention() {
+        assert_eq!(run("int main() { return 17 / 5; }"), 3);
+        assert_eq!(run("int main() { return -17 / 5; }"), -3);
+        assert_eq!(run("int main() { return 17 % 5; }"), 2);
+        assert_eq!(run("int main() { return -17 % 5; }"), -2);
+        assert_eq!(run("int main() { return 7 / 0; }"), 0);
+        assert_eq!(run("int main() { return 7 % 0; }"), 7);
+    }
+
+    #[test]
+    fn floats_and_conversions() {
+        assert_eq!(run("int main() { float x = 3.75; return int(x * 2.0); }"), 7);
+        assert_eq!(run("float half(int x) { return x / 2; } int main() { return int(half(9) * 10.0); }"), 40);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        assert_eq!(
+            run("int a[5]; int main() { int i = 0; for (i = 0; i < 5; i = i + 1) { a[i] = i * i; } return a[4] - a[2]; }"),
+            12
+        );
+        assert_eq!(run("int g = 41; int main() { g = g + 1; return g; }"), 42);
+        assert_eq!(run("int t[3] = { 7, 8, 9 }; int main() { return t[0] + t[2]; }"), 16);
+    }
+
+    #[test]
+    fn cross_unit_calls_and_static_scoping() {
+        let result = run_sources(
+            &[
+                ("a", "extern int helper(int); static int tweak(int x) { return x + 1; } int main() { return helper(tweak(1)); }"),
+                ("b", "static int tweak(int x) { return x * 10; } int helper(int x) { return tweak(x); }"),
+            ],
+            100_000,
+        )
+        .unwrap();
+        // a's tweak adds 1 (→2), b's *its own* static tweak multiplies (→20).
+        assert_eq!(result, 20);
+    }
+
+    #[test]
+    fn procedure_variables() {
+        let src = "
+            int add1(int x) { return x + 1; }
+            int dbl(int x) { return x * 2; }
+            fnptr op;
+            int main() {
+                op = &add1;
+                int a = op(10);
+                op = &dbl;
+                return a + op(10);
+            }";
+        assert_eq!(run(src), 31);
+    }
+
+    #[test]
+    fn fnptr_initializer() {
+        let src = "
+            int five(int x) { return 5 + x; }
+            fnptr h = &five;
+            int main() { return h(1); }";
+        assert_eq!(run(src), 6);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        let src = "
+            int calls;
+            int bump(int x) { calls = calls + 1; return x; }
+            int main() {
+                int a = 0 && bump(1);
+                int b = 1 || bump(1);
+                return calls * 10 + a + b;
+            }";
+        assert_eq!(run(src), 1);
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let e = run_sources(&[("t", "int main() { while (1) { } return 0; }")], 1000);
+        assert!(e.unwrap_err().contains("step limit"));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let e = run_sources(&[("t", "int a[2]; int main() { return a[5]; }")], 1000);
+        assert!(e.unwrap_err().contains("out of bounds"));
+    }
+
+    #[test]
+    fn null_fnptr_detected() {
+        let e = run_sources(&[("t", "fnptr h; int main() { return h(1); }")], 1000);
+        assert!(e.unwrap_err().contains("null"));
+    }
+
+    #[test]
+    fn shift_masking() {
+        assert_eq!(run("int main() { return 1 << 65; }"), 2);
+        assert_eq!(run("int main() { return -8 >> 1; }"), -4);
+    }
+}

@@ -1,0 +1,278 @@
+//! A small three-address intermediate representation.
+//!
+//! Lowering flattens mini-C's structured control flow into labels and
+//! branches, resolves names, makes implicit conversions explicit, and —
+//! because the Alpha has no integer divide instruction — rewrites integer
+//! `/` and `%` into calls to the library routines `__divq` and `__remq`
+//! (the way Alpha/OSF compiled code called libc millicode, and one of the
+//! reasons library calls are so common in the paper's benchmarks).
+
+use std::fmt;
+
+/// Register class: integer (also used for `fnptr` values) or floating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    Int,
+    Fp,
+}
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VReg {
+    pub id: u32,
+    pub class: Class,
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            Class::Int => write!(f, "v{}", self.id),
+            Class::Fp => write!(f, "w{}", self.id),
+        }
+    }
+}
+
+/// An operand: virtual register or immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    R(VReg),
+    I(i64),
+    F(f64),
+}
+
+impl Val {
+    /// The register, if this operand is one.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Val::R(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::R(r) => write!(f, "{r}"),
+            Val::I(v) => write!(f, "{v}"),
+            Val::F(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A branch target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Integer binary operations (divide/remainder are library calls, not ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IBin {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+}
+
+/// Floating binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison predicates (result is int 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swap(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+        }
+    }
+
+    /// The negated predicate.
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+}
+
+/// IR instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ir {
+    Label(Label),
+    Jump(Label),
+    /// Branch to `target` when `cond != 0` (or `== 0` with `when_zero`).
+    Branch {
+        cond: VReg,
+        when_zero: bool,
+        target: Label,
+    },
+    BinI { op: IBin, dst: VReg, a: Val, b: Val },
+    BinF { op: FBin, dst: VReg, a: Val, b: Val },
+    CmpI { op: Cmp, dst: VReg, a: Val, b: Val },
+    CmpF { op: Cmp, dst: VReg, a: Val, b: Val },
+    MovI { dst: VReg, src: Val },
+    MovF { dst: VReg, src: Val },
+    /// int → float.
+    CvtIF { dst: VReg, src: Val },
+    /// float → int (truncating).
+    CvtFI { dst: VReg, src: Val },
+    /// Load a scalar global.
+    LdGlobal { dst: VReg, sym: String },
+    StGlobal { sym: String, src: Val },
+    /// Load `sym[index]` from a global array (elements are 8 bytes).
+    LdElem { dst: VReg, sym: String, index: Val },
+    StElem { sym: String, index: Val, src: Val },
+    /// Load the address of function `sym` (a procedure value).
+    LdFnAddr { dst: VReg, sym: String },
+    /// Direct call.
+    Call {
+        dst: Option<VReg>,
+        name: String,
+        args: Vec<Val>,
+    },
+    /// Indirect call through a procedure variable.
+    CallInd {
+        dst: Option<VReg>,
+        target: VReg,
+        args: Vec<Val>,
+    },
+    Ret(Option<Val>),
+}
+
+impl Ir {
+    /// The destination register this instruction writes, if any.
+    pub fn dst(&self) -> Option<VReg> {
+        match self {
+            Ir::BinI { dst, .. }
+            | Ir::BinF { dst, .. }
+            | Ir::CmpI { dst, .. }
+            | Ir::CmpF { dst, .. }
+            | Ir::MovI { dst, .. }
+            | Ir::MovF { dst, .. }
+            | Ir::CvtIF { dst, .. }
+            | Ir::CvtFI { dst, .. }
+            | Ir::LdGlobal { dst, .. }
+            | Ir::LdElem { dst, .. }
+            | Ir::LdFnAddr { dst, .. } => Some(*dst),
+            Ir::Call { dst, .. } | Ir::CallInd { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// The operand values this instruction reads.
+    pub fn uses(&self) -> Vec<Val> {
+        match self {
+            Ir::Branch { cond, .. } => vec![Val::R(*cond)],
+            Ir::BinI { a, b, .. }
+            | Ir::BinF { a, b, .. }
+            | Ir::CmpI { a, b, .. }
+            | Ir::CmpF { a, b, .. } => vec![*a, *b],
+            Ir::MovI { src, .. }
+            | Ir::MovF { src, .. }
+            | Ir::CvtIF { src, .. }
+            | Ir::CvtFI { src, .. }
+            | Ir::StGlobal { src, .. } => vec![*src],
+            Ir::LdElem { index, .. } => vec![*index],
+            Ir::StElem { index, src, .. } => vec![*index, *src],
+            Ir::Call { args, .. } => args.clone(),
+            Ir::CallInd { target, args, .. } => {
+                let mut v = vec![Val::R(*target)];
+                v.extend(args.iter().copied());
+                v
+            }
+            Ir::Ret(Some(v)) => vec![*v],
+            _ => Vec::new(),
+        }
+    }
+
+    /// True for instructions ending straight-line flow.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Ir::Jump(_) | Ir::Branch { .. } | Ir::Ret(_))
+    }
+}
+
+/// A lowered function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    pub name: String,
+    pub is_static: bool,
+    pub ret: Class,
+    /// Parameter vregs in declaration order.
+    pub params: Vec<VReg>,
+    pub body: Vec<Ir>,
+    /// Number of integer / fp vregs allocated.
+    pub n_int: u32,
+    pub n_fp: u32,
+}
+
+/// A lowered compilation unit: IR functions plus the original globals (the
+/// backend lays globals out; IR references them by name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrUnit {
+    pub name: String,
+    pub functions: Vec<IrFunction>,
+    pub globals: Vec<crate::ast::Global>,
+    pub info: crate::sema::UnitInfo,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_and_swap() {
+        assert_eq!(Cmp::Lt.negate(), Cmp::Ge);
+        assert_eq!(Cmp::Lt.swap(), Cmp::Gt);
+        assert_eq!(Cmp::Eq.swap(), Cmp::Eq);
+        for c in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            assert_eq!(c.negate().negate(), c);
+            assert_eq!(c.swap().swap(), c);
+        }
+    }
+
+    #[test]
+    fn dst_and_uses() {
+        let v = VReg { id: 0, class: Class::Int };
+        let w = VReg { id: 1, class: Class::Int };
+        let i = Ir::BinI { op: IBin::Add, dst: w, a: Val::R(v), b: Val::I(1) };
+        assert_eq!(i.dst(), Some(w));
+        assert_eq!(i.uses(), vec![Val::R(v), Val::I(1)]);
+        assert!(Ir::Ret(None).is_terminator());
+        assert!(!i.is_terminator());
+    }
+}

@@ -1,0 +1,245 @@
+//! Lexer for mini-C.
+
+use crate::error::CompileError;
+use crate::token::{Spanned, Token};
+
+/// Tokenizes `src`, attaching 1-based line numbers.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lex`] on unrecognized characters or malformed
+/// numeric literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    let err = |line: u32, what: String| CompileError::Lex { line, what };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start_line, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = Token::keyword(word).unwrap_or_else(|| Token::Ident(word.to_string()));
+                out.push(Spanned { tok, line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Optional exponent.
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j].is_ascii_digit() {
+                            i = j;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &src[start..i];
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad float literal `{text}`")))?;
+                    out.push(Spanned { tok: Token::FloatLit(v), line });
+                } else if i < bytes.len() && bytes[i] == b'x' && &src[start..i] == "0" {
+                    i += 1;
+                    let hstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if hstart == i {
+                        return Err(err(line, "empty hex literal".into()));
+                    }
+                    // Hex literals are bit patterns: accept the full 64-bit
+                    // range, wrapping into i64 (C-style).
+                    let v = u64::from_str_radix(&src[hstart..i], 16)
+                        .map_err(|_| err(line, "hex literal overflows 64 bits".into()))?;
+                    out.push(Spanned { tok: Token::IntLit(v as i64), line });
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("int literal `{text}` overflows i64")))?;
+                    out.push(Spanned { tok: Token::IntLit(v), line });
+                }
+            }
+            _ => {
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b;
+                let (tok, len) = if two(b'<', b'<') {
+                    (Token::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Token::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Token::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Token::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Token::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Token::Ne, 2)
+                } else if two(b'&', b'&') {
+                    (Token::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Token::OrOr, 2)
+                } else {
+                    let t = match c {
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        '{' => Token::LBrace,
+                        '}' => Token::RBrace,
+                        '[' => Token::LBracket,
+                        ']' => Token::RBracket,
+                        ',' => Token::Comma,
+                        ';' => Token::Semi,
+                        '+' => Token::Plus,
+                        '-' => Token::Minus,
+                        '*' => Token::Star,
+                        '/' => Token::Slash,
+                        '%' => Token::Percent,
+                        '<' => Token::Lt,
+                        '>' => Token::Gt,
+                        '!' => Token::Not,
+                        '&' => Token::Amp,
+                        '^' => Token::Caret,
+                        '|' => Token::Pipe,
+                        '=' => Token::Assign,
+                        _ => return Err(err(line, format!("unexpected character `{c}`"))),
+                    };
+                    (t, 1)
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Token::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("int x_1 floaty"),
+            vec![
+                Token::KwInt,
+                Token::Ident("x_1".into()),
+                Token::Ident("floaty".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0x2a 3.5 1.0e3 2.5e-2"),
+            vec![
+                Token::IntLit(42),
+                Token::IntLit(42),
+                Token::FloatLit(3.5),
+                Token::FloatLit(1000.0),
+                Token::FloatLit(0.025),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_then_dot_is_not_float_without_digits() {
+        // `1.` is lexed as int then error on stray dot.
+        assert!(lex("1.").is_err());
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("<< >> <= >= == != && ||"),
+            vec![
+                Token::Shl,
+                Token::Shr,
+                Token::Le,
+                Token::Ge,
+                Token::EqEq,
+                Token::Ne,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let ts = lex("// line one\nint /* multi\nline */ x").unwrap();
+        assert_eq!(ts[0].tok, Token::KwInt);
+        assert_eq!(ts[0].line, 2);
+        assert_eq!(ts[1].tok, Token::Ident("x".into()));
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        assert!(lex("int $x;").is_err());
+    }
+}

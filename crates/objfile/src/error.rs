@@ -1,0 +1,42 @@
+//! Error type for object-format operations.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating, or (de)serializing object
+/// files and archives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// A structural invariant of a module is violated.
+    Malformed { module: String, what: String },
+    /// Binary input is not a well-formed object file or archive.
+    BadFormat { what: String },
+    /// An archive member name was not found.
+    NoSuchMember { name: String },
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::Malformed { module, what } => {
+                write!(f, "malformed module `{module}`: {what}")
+            }
+            ObjError::BadFormat { what } => write!(f, "bad object format: {what}"),
+            ObjError::NoSuchMember { name } => write!(f, "no archive member named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ObjError::Malformed { module: "m".into(), what: "bad".into() };
+        assert_eq!(e.to_string(), "malformed module `m`: bad");
+        let e = ObjError::NoSuchMember { name: "libm".into() };
+        assert!(e.to_string().contains("libm"));
+    }
+}

@@ -1,0 +1,47 @@
+//! ECOFF-like relocatable object format for the OM reproduction.
+//!
+//! Modules carry encoded Alpha text, data sections, a typed GAT literal pool
+//! (`.lita`), symbols with procedure boundaries and GP groups, and the
+//! GAT-aware relocations (LITERAL / LITUSE / GPDISP and friends) that the
+//! paper's link-time optimizer depends on. Archives provide `ld`-style
+//! demand-driven member selection so pre-compiled library code flows into
+//! links the way the paper's do.
+//!
+//! # Example
+//!
+//! ```
+//! use om_objfile::{ModuleBuilder, RelocKind, Visibility};
+//! use om_alpha::{Inst, Reg};
+//!
+//! # fn main() -> Result<(), om_objfile::ObjError> {
+//! let mut b = ModuleBuilder::new("hello");
+//! let callee = b.external("puts");
+//! let slot = b.lita_slot(callee, 0);
+//! let start = b.here();
+//! let load = b.emit_reloc(Inst::ldq(Reg::PV, 0, Reg::GP), RelocKind::Literal { lita: slot });
+//! b.emit_reloc(Inst::jsr(Reg::RA, Reg::PV), RelocKind::LituseJsr { load_offset: load });
+//! b.emit(Inst::ret());
+//! b.define_proc("main", start, 0, Visibility::Exported);
+//! let module = b.finish()?;
+//! let bytes = om_objfile::binary::write_module(&module);
+//! assert_eq!(om_objfile::binary::read_module(&bytes)?, module);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod archive;
+pub mod binary;
+pub mod builder;
+pub mod error;
+pub mod module;
+pub mod reloc;
+pub mod section;
+pub mod symbol;
+
+pub use archive::Archive;
+pub use builder::ModuleBuilder;
+pub use error::ObjError;
+pub use module::{LitaEntry, Module};
+pub use reloc::{Reloc, RelocKind};
+pub use section::{SecId, DATA_BASE, SECTION_ALIGN, TEXT_BASE};
+pub use symbol::{SymId, Symbol, SymbolDef, Visibility};

@@ -1,0 +1,156 @@
+//! Relocation records.
+//!
+//! These model the Alpha ECOFF relocations the paper leans on (§3): "References
+//! to the GAT section must be marked for relocation... the AXP compilers
+//! include links between an instruction that loads an address and the
+//! subsequent instructions that use it." Concretely:
+//!
+//! * [`RelocKind::Literal`] marks an *address load* — a `ldq rx, d(gp)` whose
+//!   displacement indexes a GAT slot; the linker fills in `d` once the GAT is
+//!   laid out and the GP value chosen.
+//! * [`RelocKind::LituseBase`] / [`RelocKind::LituseJsr`] mark instructions
+//!   that *use* the register an address load produced, pointing back at the
+//!   load. `Base` means a memory access through the address; `Jsr` means an
+//!   indirect call to it. These links are what let OM know, without dataflow
+//!   analysis, exactly which uses each address load feeds.
+//! * [`RelocKind::Gpdisp`] marks the `ldah/lda` pair that establishes GP from
+//!   a code address (procedure entry via PV, or the return point via RA).
+//! * [`RelocKind::BrAddr`] marks a 21-bit PC-relative branch to a symbol.
+//! * [`RelocKind::RefQuad`] marks a 64-bit absolute address in a data section
+//!   (e.g. an initialized procedure variable).
+//! * [`RelocKind::Gprel16`] marks a direct GP-relative 16-bit reference to a
+//!   small-data symbol — the form OM-simple converts GAT loads *into*.
+
+use crate::section::SecId;
+use crate::symbol::SymId;
+use std::fmt;
+
+/// The kind-specific payload of a relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocKind {
+    /// The instruction's 16-bit displacement selects GAT slot `lita` of this
+    /// module; the loaded value is the slot's 64-bit address.
+    Literal { lita: u32 },
+    /// The instruction reads the register produced by the [`Literal`] address
+    /// load at text offset `load_offset` and uses it as a memory base.
+    ///
+    /// [`Literal`]: RelocKind::Literal
+    LituseBase { load_offset: u64 },
+    /// The instruction is an indirect call through the register produced by
+    /// the address load at text offset `load_offset`.
+    LituseJsr { load_offset: u64 },
+    /// The instruction consumes the *value* of the address load at
+    /// `load_offset` in a way that cannot absorb a displacement (address
+    /// arithmetic, storing the address, passing it as an argument). A load
+    /// with any such use can be converted to a load-address operation but
+    /// never nullified.
+    LituseAddr { load_offset: u64 },
+    /// This `ldah` and the `lda` at `offset + pair_offset` together add the
+    /// 32-bit displacement `GP - addr(anchor)` to a register that holds the
+    /// final address of text offset `anchor` at run time (the procedure entry
+    /// for a prologue, the return point for an after-call reset). `gp_group`
+    /// names whose GP is being established.
+    Gpdisp {
+        pair_offset: i64,
+        anchor: u64,
+        gp_group: u32,
+    },
+    /// 21-bit branch displacement to `sym`.
+    BrAddr { sym: SymId, addend: i64 },
+    /// 64-bit absolute address of `sym + addend` stored in a data section.
+    RefQuad { sym: SymId, addend: i64 },
+    /// 16-bit GP-relative displacement to `sym + addend` (small data).
+    Gprel16 {
+        sym: SymId,
+        addend: i64,
+        gp_group: u32,
+    },
+    /// The high half of a split GP-relative reference: the `ldah` gets the
+    /// upper 16 bits of `sym + addend - GP` (with low-half sign compensation).
+    /// This is what OM converts 32-bit-distant address loads into.
+    GprelHigh {
+        sym: SymId,
+        addend: i64,
+        gp_group: u32,
+    },
+    /// The low half: the instruction's displacement becomes
+    /// `(sym + addend - GP) - (high << 16)` where `high` is computed as for
+    /// the paired [`GprelHigh`](RelocKind::GprelHigh) with `hi_addend`.
+    GprelLow {
+        sym: SymId,
+        addend: i64,
+        hi_addend: i64,
+        gp_group: u32,
+    },
+}
+
+/// A relocation: a [`RelocKind`] applied at `offset` within section `sec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reloc {
+    pub sec: SecId,
+    pub offset: u64,
+    pub kind: RelocKind,
+}
+
+impl Reloc {
+    /// Convenience constructor for text-section relocations (the common case).
+    pub fn text(offset: u64, kind: RelocKind) -> Reloc {
+        Reloc { sec: SecId::Text, offset, kind }
+    }
+}
+
+impl fmt::Display for Reloc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}: ", self.sec, self.offset)?;
+        match self.kind {
+            RelocKind::Literal { lita } => write!(f, "LITERAL lita[{lita}]"),
+            RelocKind::LituseBase { load_offset } => {
+                write!(f, "LITUSE_BASE of load at {load_offset:#x}")
+            }
+            RelocKind::LituseJsr { load_offset } => {
+                write!(f, "LITUSE_JSR of load at {load_offset:#x}")
+            }
+            RelocKind::LituseAddr { load_offset } => {
+                write!(f, "LITUSE_ADDR of load at {load_offset:#x}")
+            }
+            RelocKind::Gpdisp { pair_offset, anchor, gp_group } => write!(
+                f,
+                "GPDISP pair at {pair_offset:+}, anchor {anchor:#x}, group {gp_group}"
+            ),
+            RelocKind::BrAddr { sym, addend } => write!(f, "BRADDR {sym}{addend:+}"),
+            RelocKind::RefQuad { sym, addend } => write!(f, "REFQUAD {sym}{addend:+}"),
+            RelocKind::Gprel16 { sym, addend, gp_group } => {
+                write!(f, "GPREL16 {sym}{addend:+} (group {gp_group})")
+            }
+            RelocKind::GprelHigh { sym, addend, gp_group } => {
+                write!(f, "GPRELHIGH {sym}{addend:+} (group {gp_group})")
+            }
+            RelocKind::GprelLow { sym, addend, hi_addend, gp_group } => {
+                write!(f, "GPRELLOW {sym}{addend:+} (hi{hi_addend:+}, group {gp_group})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_constructor_targets_text() {
+        let r = Reloc::text(8, RelocKind::Literal { lita: 3 });
+        assert_eq!(r.sec, SecId::Text);
+        assert_eq!(r.offset, 8);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Reloc::text(4, RelocKind::LituseJsr { load_offset: 0 });
+        assert_eq!(r.to_string(), ".text+0x4: LITUSE_JSR of load at 0x0");
+        let g = Reloc::text(
+            0,
+            RelocKind::Gpdisp { pair_offset: 4, anchor: 0, gp_group: 2 },
+        );
+        assert!(g.to_string().contains("GPDISP"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Symbols: procedures, data, commons, and external references.
+//!
+//! The symbol table carries the two hints the paper says OM gets from the
+//! loader format: procedure boundaries (every procedure is a symbol with a
+//! size) and the GP value each procedure uses (here a `gp_group`, resolved to
+//! a concrete GP value at layout time — one group per compilation unit's GAT,
+//! merged by the linker when tables fit together).
+
+use crate::section::SecId;
+use std::fmt;
+
+/// Index of a symbol within one module's symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u32);
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Whether a symbol is visible to other modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Visibility {
+    /// Exported: participates in cross-module resolution. An exported
+    /// procedure might also be preempted under dynamic linking, which is why
+    /// the compiler cannot optimize calls to it (paper §1, footnote 1).
+    Exported,
+    /// Local (`static`): resolvable only within its module; the compiler may
+    /// optimize intra-module calls to it, and does in compile-all mode.
+    Local,
+}
+
+/// What a symbol denotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolDef {
+    /// A procedure at `offset` in this module's `.text`, occupying `size`
+    /// bytes, using the GP of GAT group `gp_group`.
+    Proc {
+        offset: u64,
+        size: u64,
+        gp_group: u32,
+    },
+    /// A data object in a specific section.
+    Data { sec: SecId, offset: u64, size: u64 },
+    /// A common (tentatively-defined) object: the linker allocates it,
+    /// sorting commons by size near the GAT (an OM-simple transformation the
+    /// standard linker applies only trivially).
+    Common { size: u64, align: u64 },
+    /// Defined in some other module.
+    Extern,
+}
+
+/// A symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Link name, unique among exported symbols at link time.
+    pub name: String,
+    pub vis: Visibility,
+    pub def: SymbolDef,
+}
+
+impl Symbol {
+    /// Creates an exported procedure symbol.
+    pub fn proc(name: impl Into<String>, offset: u64, size: u64, gp_group: u32) -> Symbol {
+        Symbol {
+            name: name.into(),
+            vis: Visibility::Exported,
+            def: SymbolDef::Proc { offset, size, gp_group },
+        }
+    }
+
+    /// Creates an external reference.
+    pub fn external(name: impl Into<String>) -> Symbol {
+        Symbol {
+            name: name.into(),
+            vis: Visibility::Exported,
+            def: SymbolDef::Extern,
+        }
+    }
+
+    /// Creates a data symbol.
+    pub fn data(name: impl Into<String>, sec: SecId, offset: u64, size: u64) -> Symbol {
+        Symbol {
+            name: name.into(),
+            vis: Visibility::Exported,
+            def: SymbolDef::Data { sec, offset, size },
+        }
+    }
+
+    /// Creates a common symbol of `size` bytes.
+    pub fn common(name: impl Into<String>, size: u64, align: u64) -> Symbol {
+        Symbol {
+            name: name.into(),
+            vis: Visibility::Exported,
+            def: SymbolDef::Common { size, align },
+        }
+    }
+
+    /// Marks the symbol local (`static`) and returns it.
+    pub fn local(mut self) -> Symbol {
+        self.vis = Visibility::Local;
+        self
+    }
+
+    /// True if this entry defines the symbol (anything but `Extern`).
+    pub fn is_defined(&self) -> bool {
+        !matches!(self.def, SymbolDef::Extern)
+    }
+
+    /// True for procedure definitions.
+    pub fn is_proc(&self) -> bool {
+        matches!(self.def, SymbolDef::Proc { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let p = Symbol::proc("main", 0, 64, 0);
+        assert!(p.is_proc() && p.is_defined());
+        assert_eq!(p.vis, Visibility::Exported);
+
+        let e = Symbol::external("printf");
+        assert!(!e.is_defined());
+
+        let c = Symbol::common("work", 800, 8);
+        assert!(c.is_defined() && !c.is_proc());
+    }
+
+    #[test]
+    fn local_marks_visibility() {
+        let s = Symbol::proc("helper", 128, 32, 0).local();
+        assert_eq!(s.vis, Visibility::Local);
+    }
+}

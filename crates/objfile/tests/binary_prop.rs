@@ -1,0 +1,123 @@
+//! Property tests of the on-disk object format: random well-formed modules
+//! must round-trip exactly, and arbitrary bytes must never panic the reader.
+
+use om_objfile::{
+    binary, Archive, LitaEntry, Module, Reloc, RelocKind, SecId, SymId, Symbol, SymbolDef,
+    Visibility,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+/// A structurally valid module: procedures tile the text, relocations are in
+/// range and sorted, lita entries name real symbols.
+fn any_module() -> impl Strategy<Value = Module> {
+    (
+        ident(),
+        1usize..6,   // procedures
+        0usize..5,   // externs
+        0usize..4,   // commons
+        0usize..24,  // data bytes / 8
+        0usize..16,  // sdata bytes / 8
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(name, nproc, next, ncommon, data8, sdata8, noise)| {
+            let mut m = Module::new(name);
+            // Each proc gets 4 instructions (16 bytes) of encodable words.
+            let nop = om_alpha::encode(om_alpha::Inst::nop()).to_le_bytes();
+            for _ in 0..nproc * 4 {
+                m.text.extend_from_slice(&nop);
+            }
+            for p in 0..nproc {
+                m.symbols.push(Symbol {
+                    name: format!("p{p}"),
+                    vis: if p % 2 == 0 { Visibility::Exported } else { Visibility::Local },
+                    def: SymbolDef::Proc { offset: 16 * p as u64, size: 16, gp_group: 0 },
+                });
+            }
+            for e in 0..next {
+                m.symbols.push(Symbol::external(format!("x{e}")));
+            }
+            for c in 0..ncommon {
+                m.symbols
+                    .push(Symbol::common(format!("c{c}"), 8 * (c as u64 + 1), 8));
+            }
+            m.data = vec![0xAB; 8 * data8];
+            m.sdata = vec![0xCD; 8 * sdata8];
+            m.sbss_size = (noise.first().copied().unwrap_or(0) as u64) * 8;
+            m.bss_size = (noise.get(1).copied().unwrap_or(0) as u64) * 8;
+
+            // A lita entry per symbol (dedup not required at module level).
+            for (i, _) in m.symbols.iter().enumerate() {
+                m.lita.push(LitaEntry { sym: SymId(i as u32), addend: (i as i64) * 8 });
+            }
+            // One literal + lituse pair per proc, plus a gpdisp at entry.
+            for p in 0..nproc {
+                let base = 16 * p as u64;
+                m.relocs.push(Reloc::text(
+                    base,
+                    RelocKind::Gpdisp { pair_offset: 4, anchor: base, gp_group: 0 },
+                ));
+                m.relocs.push(Reloc::text(
+                    base + 8,
+                    RelocKind::Literal { lita: (p % m.lita.len().max(1)) as u32 },
+                ));
+                m.relocs.push(Reloc::text(
+                    base + 12,
+                    RelocKind::LituseBase { load_offset: base + 8 },
+                ));
+            }
+            if !m.data.is_empty() {
+                m.relocs.push(Reloc {
+                    sec: SecId::Data,
+                    offset: 0,
+                    kind: RelocKind::RefQuad { sym: SymId(0), addend: 16 },
+                });
+            }
+            m.validate().expect("generator produces valid modules");
+            m
+        })
+}
+
+proptest! {
+    #[test]
+    fn modules_roundtrip(m in any_module()) {
+        let bytes = binary::write_module(&m);
+        let back = binary::read_module(&bytes).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn archives_roundtrip(ms in proptest::collection::vec(any_module(), 0..4)) {
+        let mut ar = Archive::new("lib");
+        for (i, mut m) in ms.into_iter().enumerate() {
+            // Unique exported names across members to keep the index sane.
+            for s in &mut m.symbols {
+                if s.is_defined() && s.vis == Visibility::Exported {
+                    s.name = format!("{}_{i}", s.name);
+                }
+            }
+            ar.add(m).unwrap();
+        }
+        let bytes = binary::write_archive(&ar);
+        prop_assert_eq!(binary::read_archive(&bytes).unwrap(), ar);
+    }
+
+    #[test]
+    fn reader_never_panics_on_corruption(m in any_module(), flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
+        let mut bytes = binary::write_module(&m);
+        for (idx, v) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= v;
+        }
+        let _ = binary::read_module(&bytes); // any Result is fine; no panic
+    }
+
+    #[test]
+    fn reader_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = binary::read_module(&bytes);
+        let _ = binary::read_archive(&bytes);
+    }
+}

@@ -1,0 +1,131 @@
+//! `asim` — run an executable image on the simulated Alpha.
+//!
+//! ```text
+//! asim [--limit N] [--timing] [--disasm [SYMBOL]] IMAGE.exe
+//! ```
+//!
+//! Prints the program's result (and its `__write_int` output); `--timing`
+//! adds the 21064-model cycle statistics; `--disasm` dumps the text segment
+//! (or one procedure) instead of running.
+
+use om_linker::Image;
+use om_sim::{run_image, run_timed};
+use std::process::exit;
+
+fn main() {
+    let mut limit: u64 = 1_000_000_000;
+    let mut timing = false;
+    let mut disasm: Option<Option<String>> = None;
+    let mut path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--limit" => {
+                i += 1;
+                limit = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("asim: --limit needs a number");
+                        exit(2);
+                    });
+            }
+            "--timing" => timing = true,
+            "--disasm" => {
+                let next = args.get(i + 1);
+                if let Some(sym) = next.filter(|s| !s.starts_with('-') && !s.ends_with(".exe")) {
+                    disasm = Some(Some(sym.clone()));
+                    i += 1;
+                } else {
+                    disasm = Some(None);
+                }
+            }
+            f if !f.starts_with('-') => path = Some(f.to_string()),
+            other => {
+                eprintln!("asim: unknown option {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: asim [--limit N] [--timing] [--disasm [SYMBOL]] IMAGE.exe");
+        exit(2);
+    };
+
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("asim: cannot read {path}: {e}");
+        exit(1);
+    });
+    let image = Image::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("asim: {path}: {e}");
+        exit(1);
+    });
+
+    if let Some(which) = disasm {
+        let text = &image.segments[0];
+        match which {
+            None => print!("{}", om_alpha::disasm::section(text.base, &text.bytes)),
+            Some(sym) => {
+                let Some(&addr) = image.symbols.get(&sym) else {
+                    eprintln!("asim: no symbol `{sym}`");
+                    exit(1);
+                };
+                // Dump until the next symbol (or 64 instructions).
+                let mut end = addr + 256;
+                for &a in image.symbols.values() {
+                    if a > addr && a < end {
+                        end = a;
+                    }
+                }
+                let off = (addr - text.base) as usize;
+                let len = ((end - addr) as usize).min(text.bytes.len() - off);
+                print!("{}", om_alpha::disasm::section(addr, &text.bytes[off..off + len]));
+            }
+        }
+        return;
+    }
+
+    if timing {
+        match run_timed(&image, limit) {
+            Ok((r, t)) => {
+                for v in &r.output {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "asim: result {} | {} insts, {} cycles ({:.2} IPC), {} dual-issued, {} nops",
+                    r.result,
+                    t.insts,
+                    t.cycles,
+                    t.insts as f64 / t.cycles.max(1) as f64,
+                    t.dual_issued,
+                    t.nops
+                );
+                eprintln!(
+                    "asim: icache {} misses | dcache {} misses",
+                    t.icache_misses, t.dcache_misses
+                );
+                exit((r.result & 0x7F) as i32);
+            }
+            Err(e) => {
+                eprintln!("asim: {e}");
+                exit(1);
+            }
+        }
+    }
+    match run_image(&image, limit) {
+        Ok(r) => {
+            for v in &r.output {
+                println!("{v}");
+            }
+            eprintln!("asim: result {} ({} instructions)", r.result, r.insts);
+            exit((r.result & 0x7F) as i32);
+        }
+        Err(e) => {
+            eprintln!("asim: {e}");
+            exit(1);
+        }
+    }
+}

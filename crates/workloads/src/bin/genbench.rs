@@ -1,0 +1,66 @@
+//! `genbench` — write a synthetic benchmark's mini-C sources (and the
+//! standard library's) to a directory, so the whole pipeline can be driven
+//! through the command-line tools:
+//!
+//! ```text
+//! genbench spice out/
+//! mcc out/*.mc                       # each source -> out/*.o
+//! om -o spice.exe out/*.o out/libstd.a --stats
+//! asim --timing spice.exe
+//! ```
+//!
+//! (`out/crt0.o` and `out/libstd.a` are emitted pre-built; the library
+//! sources under `out/lib/` are included for inspection or rebuilding with
+//! `mcc --ar`.)
+
+use om_codegen::crt0;
+use om_objfile::binary;
+use om_workloads::build::stdlib_archive;
+use om_workloads::spec;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(name), Some(dir)) = (args.next(), args.next()) else {
+        eprintln!("usage: genbench BENCHMARK OUTDIR [--quick]");
+        eprintln!("benchmarks: {}", spec::all().iter().map(|s| s.name).collect::<Vec<_>>().join(" "));
+        exit(2);
+    };
+    let quick = args.next().as_deref() == Some("--quick");
+
+    let Some(mut s) = spec::by_name(&name) else {
+        eprintln!("genbench: unknown benchmark `{name}`");
+        exit(2);
+    };
+    if quick {
+        s = spec::quick(&s);
+    }
+
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let libdir = dir.join("lib");
+    std::fs::create_dir_all(&libdir).unwrap();
+
+    for (module, src) in om_workloads::build::sources(&s) {
+        let p = dir.join(format!("{module}.mc"));
+        std::fs::write(&p, src).unwrap();
+        eprintln!("genbench: wrote {}", p.display());
+    }
+    for (module, src) in om_workloads::stdlib::STDLIB_SOURCES {
+        let p = libdir.join(format!("{module}.mc"));
+        std::fs::write(&p, src).unwrap();
+    }
+    eprintln!("genbench: wrote {} library sources to {}", om_workloads::stdlib::STDLIB_SOURCES.len(), libdir.display());
+
+    // Convenience: a pre-built libstd.a and crt0.o so the tool pipeline can
+    // start immediately.
+    let ar = stdlib_archive().unwrap();
+    std::fs::write(dir.join("libstd.a"), binary::write_archive(&ar)).unwrap();
+    std::fs::write(
+        dir.join("crt0.o"),
+        binary::write_module(&crt0::module().unwrap()),
+    )
+    .unwrap();
+    eprintln!("genbench: wrote {} and {}", dir.join("libstd.a").display(), dir.join("crt0.o").display());
+}

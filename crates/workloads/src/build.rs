@@ -1,0 +1,156 @@
+//! Build drivers: compile a benchmark the two ways the paper measures.
+//!
+//! * **compile-each** — every user source file compiled separately at `-O2`
+//!   (intraprocedural global optimization only);
+//! * **compile-all** — all user sources compiled monolithically with
+//!   interprocedural optimization (merging + inlining).
+//!
+//! Both variants link against the same pre-compiled [`stdlib`] archive, so
+//! compile-time interprocedural optimization never sees library internals —
+//! the asymmetry at the heart of the paper's compile-all result.
+//!
+//! [`stdlib`]: crate::stdlib
+
+use crate::gen::{generate, BenchSpec, Sources};
+use crate::stdlib::STDLIB_SOURCES;
+use om_codegen::{compile_all_sources, compile_source, crt0, CodegenError, CompileOpts};
+use om_objfile::{Archive, Module, ObjError};
+use std::fmt;
+
+/// How the user sources are compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompileMode {
+    /// Separate compilation of each source file (`-O2`).
+    Each,
+    /// Monolithic compilation with interprocedural optimization.
+    All,
+}
+
+impl CompileMode {
+    /// Paper terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompileMode::Each => "compile-each",
+            CompileMode::All => "compile-all",
+        }
+    }
+}
+
+/// Build errors.
+#[derive(Debug)]
+pub enum BuildError {
+    Codegen(CodegenError),
+    Object(ObjError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Codegen(e) => write!(f, "{e}"),
+            BuildError::Object(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<CodegenError> for BuildError {
+    fn from(e: CodegenError) -> Self {
+        BuildError::Codegen(e)
+    }
+}
+
+impl From<ObjError> for BuildError {
+    fn from(e: ObjError) -> Self {
+        BuildError::Object(e)
+    }
+}
+
+/// A benchmark ready to link: crt0 + user objects, plus the library archive.
+#[derive(Debug, Clone)]
+pub struct BuiltBenchmark {
+    pub name: String,
+    pub mode: CompileMode,
+    /// crt0 followed by the user objects.
+    pub objects: Vec<Module>,
+    /// The pre-compiled standard library.
+    pub libs: Vec<Archive>,
+}
+
+impl BuiltBenchmark {
+    /// All link inputs: explicit objects plus selected library members are
+    /// resolved by the consumer (standard linker or OM).
+    pub fn objects_cloned(&self) -> Vec<Module> {
+        self.objects.clone()
+    }
+}
+
+/// Compiles the standard library into its archive (`-O2`, compiled "long
+/// before" the application).
+///
+/// # Errors
+///
+/// Propagates compile errors (the library sources are fixed, so this only
+/// fails if the toolchain regresses).
+pub fn stdlib_archive() -> Result<Archive, BuildError> {
+    let mut ar = Archive::new("libstd");
+    for (name, src) in STDLIB_SOURCES {
+        ar.add(compile_source(name, src, &CompileOpts::o2())?)?;
+    }
+    Ok(ar)
+}
+
+/// Generates a benchmark's user sources (library excluded).
+pub fn sources(spec: &BenchSpec) -> Sources {
+    generate(spec)
+}
+
+/// Compiles a benchmark in the given mode.
+///
+/// # Errors
+///
+/// Propagates generator-output compile errors (a generator bug if ever hit).
+pub fn build(spec: &BenchSpec, mode: CompileMode) -> Result<BuiltBenchmark, BuildError> {
+    let srcs = sources(spec);
+    let opts = CompileOpts::o2();
+    let mut objects = vec![crt0::module()?];
+    match mode {
+        CompileMode::Each => {
+            for (name, src) in &srcs {
+                objects.push(compile_source(name, src, &opts)?);
+            }
+        }
+        CompileMode::All => {
+            let refs: Vec<(&str, &str)> = srcs
+                .iter()
+                .map(|(n, s)| (n.as_str(), s.as_str()))
+                .collect();
+            objects.push(compile_all_sources(
+                &format!("{}_all", spec.name),
+                &refs,
+                &opts,
+            )?);
+        }
+    }
+    Ok(BuiltBenchmark {
+        name: spec.name.to_string(),
+        mode,
+        objects,
+        libs: vec![stdlib_archive()?],
+    })
+}
+
+/// Computes the benchmark's reference checksum with the mini-C interpreter
+/// (the behavioral oracle, independent of the whole object-code pipeline).
+///
+/// # Errors
+///
+/// Returns a message on compile or runtime errors.
+pub fn interp_reference(spec: &BenchSpec, steps: u64) -> Result<i64, String> {
+    let mut all: Vec<(String, String)> = sources(spec);
+    for (n, s) in STDLIB_SOURCES {
+        all.push((n.to_string(), s.to_string()));
+    }
+    let refs: Vec<(&str, &str)> = all.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    om_minic::interp::run_sources(&refs, steps)
+}

@@ -1,0 +1,597 @@
+//! Deterministic synthetic benchmark generator.
+//!
+//! We cannot obtain the 1994 SPEC92 sources, so each benchmark is a
+//! generated mini-C program whose *structural statistics* — module count,
+//! procedures per module, fraction of `static` procedures, global/array
+//! traffic, call density, library-call fraction, procedure variables,
+//! basic-block size — are set per benchmark (see [`crate::spec`]) to mimic
+//! the named program's character. The address-calculation behavior OM
+//! optimizes depends on exactly these statistics, not on what the loops
+//! compute.
+//!
+//! Generation is fully deterministic (seeded per benchmark), the call graph
+//! is a DAG plus one bounded recursive procedure, array indices are masked
+//! to their power-of-two lengths, and integer arithmetic wraps — so every
+//! generated program terminates with a well-defined checksum that all build
+//! variants must reproduce bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Structural parameters of one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchSpec {
+    pub name: &'static str,
+    pub seed: u64,
+    /// Separately-compiled user modules.
+    pub modules: usize,
+    pub procs_per_module: usize,
+    /// Fraction of procedures declared `static` (unexported).
+    pub static_frac: f64,
+    pub scalars_per_module: usize,
+    pub arrays_per_module: usize,
+    /// Array length = `1 << array_pow2` elements.
+    pub array_pow2: u32,
+    /// Fraction of procedures computing in floating point.
+    pub float_frac: f64,
+    /// Direct calls seeded into each procedure body.
+    pub calls_per_proc: usize,
+    /// Fraction of those calls that target the pre-compiled library.
+    pub lib_call_frac: f64,
+    /// Procedure variables (fnptr globals) dispatched in `main`.
+    pub fnptrs: usize,
+    /// Main-loop iterations (controls dynamic instruction count).
+    pub iters: u64,
+    /// Straight-line statements per procedure body (large for fpppp/doduc).
+    pub block_stmts: usize,
+    /// Include a bounded recursive procedure.
+    pub recursive: bool,
+}
+
+/// A generated program: `(module name, source)` in link order.
+pub type Sources = Vec<(String, String)>;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Int,
+    Float,
+}
+
+struct Proc {
+    module: usize,
+    name: String,
+    kind: Kind,
+    is_static: bool,
+    /// Leaf procedures make no user calls; branch procedures call leaves
+    /// plus at most one earlier branch. This keeps the dynamic call tree
+    /// polynomial while preserving realistic static call density.
+    is_leaf: bool,
+    /// Tiny single-expression accessors: the procedures a monolithic
+    /// compile-all build inlines away (separate compilation cannot).
+    is_accessor: bool,
+}
+
+/// Library routines the generator may call: `(name, arity, returns_float)`.
+const LIB_FNS: &[(&str, usize, bool)] = &[
+    ("mix64", 1, false),
+    ("hash2", 2, false),
+    ("abs_i", 1, false),
+    ("min_i", 2, false),
+    ("max_i", 2, false),
+    ("sign_i", 1, false),
+    ("gcd_i", 2, false),
+    ("isqrt", 1, false),
+    ("ipow", 2, false),
+    ("stat_push", 1, false),
+    ("stat_mean", 0, false),
+    ("cksum_add", 1, false),
+    ("rng_range", 1, false),
+];
+
+const LIB_FNS_F: &[(&str, usize)] = &[
+    ("fabs_f", 1),
+    ("fmin_f", 2),
+    ("fmax_f", 2),
+    ("sqrt_f", 1),
+    ("sin_f", 1),
+    ("lerp_f", 3),
+];
+
+struct Gen {
+    spec: BenchSpec,
+    rng: StdRng,
+    procs: Vec<Proc>,
+    /// Per module: extern declarations needed (rendered lines).
+    externs: Vec<std::collections::BTreeSet<String>>,
+}
+
+impl Gen {
+    fn new(spec: BenchSpec) -> Gen {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ SEED_SALT);
+        let mut procs = Vec::new();
+        for m in 0..spec.modules {
+            for j in 0..spec.procs_per_module {
+                let last = j + 1 == spec.procs_per_module;
+                let kind = if !last && rng.gen_bool(spec.float_frac) {
+                    Kind::Float
+                } else {
+                    Kind::Int
+                };
+                // The last proc of each module is the module's exported
+                // entry; the first two are tiny accessors.
+                let is_accessor = !last && j < 2;
+                let is_static = !last && !is_accessor && rng.gen_bool(spec.static_frac);
+                let is_leaf = !last && j < spec.procs_per_module / 2 + 1;
+                let kind = if is_accessor { Kind::Int } else { kind };
+                procs.push(Proc {
+                    module: m,
+                    name: format!("p{m}_{j}"),
+                    kind,
+                    is_static,
+                    is_leaf,
+                    is_accessor,
+                });
+            }
+        }
+        Gen {
+            externs: vec![std::collections::BTreeSet::new(); spec.modules],
+            spec,
+            rng,
+            procs,
+        }
+    }
+
+    /// Array `a` of any module has `1 << pow2(a)` elements: sizes are varied
+    /// around the spec's base so the sorted-commons layout has a realistic
+    /// size distribution straddling the GP window.
+    fn array_pow2(&self, a: usize) -> u32 {
+        self.spec.array_pow2 + (a as u32 % 4)
+    }
+
+    fn array_len(&self, a: usize) -> u64 {
+        1u64 << self.array_pow2(a)
+    }
+
+    fn array_mask(&self, a: usize) -> u64 {
+        self.array_len(a) - 1
+    }
+
+    /// Record that module `m` needs an extern declaration.
+    fn need_extern(&mut self, m: usize, decl: String) {
+        self.externs[m].insert(decl);
+    }
+
+    fn lib_call_int(&mut self, m: usize, args: &[String]) -> String {
+        let (name, arity, _) = LIB_FNS[self.rng.gen_range(0..LIB_FNS.len())];
+        let params = vec!["int"; arity].join(", ");
+        self.need_extern(m, format!("extern int {name}({params});"));
+        let mut chosen = Vec::new();
+        for i in 0..arity {
+            chosen.push(args[i % args.len()].clone());
+        }
+        format!("{name}({})", chosen.join(", "))
+    }
+
+    fn lib_call_float(&mut self, m: usize, args: &[String]) -> String {
+        let (name, arity) = LIB_FNS_F[self.rng.gen_range(0..LIB_FNS_F.len())];
+        let params = vec!["float"; arity].join(", ");
+        self.need_extern(m, format!("extern float {name}({params});"));
+        let mut chosen = Vec::new();
+        for i in 0..arity {
+            chosen.push(args[i % args.len()].clone());
+        }
+        format!("{name}({})", chosen.join(", "))
+    }
+
+    /// A call to an earlier user procedure, respecting visibility. Branch
+    /// callees are rationed by `branch_budget` (at most one per caller) so
+    /// the dynamic call tree stays shallow.
+    fn user_call(
+        &mut self,
+        from: usize,
+        global_idx: usize,
+        branch_budget: &mut usize,
+    ) -> Option<String> {
+        // Leaves never call user code (bounds the dynamic call tree).
+        if self.procs[global_idx].is_leaf {
+            return None;
+        }
+        // Candidate callees: strictly earlier in the roster; statics only
+        // within the same module; branches only while budget remains.
+        let candidates: Vec<usize> = (0..global_idx)
+            .filter(|&i| !self.procs[i].is_static || self.procs[i].module == from)
+            .filter(|&i| self.procs[i].is_leaf || *branch_budget > 0)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let idx = candidates[self.rng.gen_range(0..candidates.len())];
+        if !self.procs[idx].is_leaf {
+            *branch_budget -= 1;
+        }
+        let callee_module = self.procs[idx].module;
+        let callee_kind = self.procs[idx].kind;
+        let name = self.procs[idx].name.clone();
+        if callee_module != from {
+            let decl = match callee_kind {
+                Kind::Int => format!("extern int {name}(int, int);"),
+                Kind::Float => format!("extern float {name}(float, int);"),
+            };
+            self.need_extern(from, decl);
+        }
+        let a = self.int_term_simple();
+        let b = self.int_term_simple();
+        Some(match callee_kind {
+            Kind::Int => format!("{name}({a}, {b})"),
+            Kind::Float => format!("int({name}(float({a}) * 0.125, {b}))"),
+        })
+    }
+
+    /// A simple int expression over the conventional names in scope
+    /// (`a`, `b`, `acc`).
+    fn int_term_simple(&mut self) -> String {
+        let k = self.rng.gen_range(1..100);
+        match self.rng.gen_range(0..6) {
+            0 => format!("(a + {k})"),
+            1 => format!("(b ^ {k})"),
+            2 => format!("(acc >> {})", self.rng.gen_range(1..8)),
+            3 => "(acc & 0xFFFF)".to_string(),
+            4 => format!("(a * {k})"),
+            _ => "(b + acc)".to_string(),
+        }
+    }
+
+    /// An int term that may touch globals, arrays, the library, or other
+    /// procedures.
+    fn int_term(&mut self, m: usize, global_idx: usize, branch_budget: &mut usize) -> String {
+        match self.rng.gen_range(0..10) {
+            0 | 1 => self.int_term_simple(),
+            2 => {
+                let g = self.rng.gen_range(0..self.spec.scalars_per_module);
+                format!("g{m}_{g}")
+            }
+            3 | 4 => {
+                let a = self.rng.gen_range(0..self.spec.arrays_per_module);
+                let idx = self.int_term_simple();
+                let lmask = self.array_mask(a);
+                format!("arr{m}_{a}[{idx} & {lmask}]")
+            }
+            5 => {
+                let args = [self.int_term_simple(), self.int_term_simple()];
+                self.lib_call_int(m, &args)
+            }
+            6 => {
+                // Integer divide/remainder: millicode traffic.
+                let k = self.rng.gen_range(3..17);
+                let t = self.int_term_simple();
+                if self.rng.gen_bool(0.5) {
+                    format!("({t} / {k})")
+                } else {
+                    format!("({t} % {k})")
+                }
+            }
+            _ => match self.user_call(m, global_idx, branch_budget) {
+                Some(c) => c,
+                None => self.int_term_simple(),
+            },
+        }
+    }
+
+    fn float_term(&mut self, m: usize) -> String {
+        let c = self.rng.gen_range(1..100) as f64 / 16.0;
+        match self.rng.gen_range(0..6) {
+            0 => format!("(fa * {c:.4} + 0.5)"),
+            1 => "(fa - float(b) * 0.0625)".to_string(),
+            2 => format!("(facc * 0.5 + {c:.4})"),
+            3 => {
+                let args = ["fa".to_string(), "facc".to_string(), format!("{c:.4}")];
+                self.lib_call_float(m, &args)
+            }
+            4 => format!("(fa / ({c:.4} + 1.0))"),
+            _ => format!("float(b & 255) * {c:.4}"),
+        }
+    }
+
+    /// Emits one procedure body.
+    fn proc_source(&mut self, global_idx: usize) -> String {
+        let spec = self.spec;
+        let m = self.procs[global_idx].module;
+        let kind = self.procs[global_idx].kind;
+        let is_static = self.procs[global_idx].is_static;
+        let name = self.procs[global_idx].name.clone();
+
+        if self.procs[global_idx].is_accessor {
+            let k1 = self.rng.gen_range(3..60);
+            let k2 = self.rng.gen_range(1..30);
+            return format!(
+                "int {name}(int a, int b) {{ return a * {k1} + (b ^ {k2}); }}\n\n"
+            );
+        }
+
+        let mut body = String::new();
+        let header = match (kind, is_static) {
+            (Kind::Int, false) => format!("int {name}(int a, int b) {{\n"),
+            (Kind::Int, true) => format!("static int {name}(int a, int b) {{\n"),
+            (Kind::Float, false) => format!("float {name}(float fa, int b) {{\n"),
+            (Kind::Float, true) => format!("static float {name}(float fa, int b) {{\n"),
+        };
+        body.push_str(&header);
+        match kind {
+            Kind::Int => body.push_str("  int acc = a * 3 + b;\n"),
+            Kind::Float => {
+                body.push_str("  float facc = fa + float(b) * 0.25;\n  int acc = b + 1;\n  int a = b * 7;\n")
+            }
+        }
+
+        // Straight-line statement block, with calls sprinkled through it.
+        let is_leaf = self.procs[global_idx].is_leaf;
+        let mut call_budget = if is_leaf { 0 } else { spec.calls_per_proc };
+        let mut branch_budget = if is_leaf { 0 } else { 1usize };
+        // Leaves do substantial register work per invocation (no calls), so
+        // call bookkeeping stays a realistic fraction of dynamic cost.
+        let block_stmts = if is_leaf {
+            spec.block_stmts.clamp(12, 20)
+        } else {
+            spec.block_stmts
+        };
+        for s in 0..block_stmts {
+            let want_call = call_budget > 0
+                && (block_stmts - s) <= call_budget * 2;
+            let stmt = if want_call || (call_budget > 0 && self.rng.gen_bool(0.35)) {
+                call_budget -= 1;
+                if self.rng.gen_bool(spec.lib_call_frac) {
+                    let args = [self.int_term_simple(), "acc".to_string()];
+                    let c = self.lib_call_int(m, &args);
+                    format!("  acc = acc + {c};\n")
+                } else {
+                    match self.user_call(m, global_idx, &mut branch_budget) {
+                        Some(c) => format!("  acc = acc ^ {c};\n"),
+                        None => {
+                            let args = [self.int_term_simple(), "acc".to_string()];
+                            let c = self.lib_call_int(m, &args);
+                            format!("  acc = acc + {c};\n")
+                        }
+                    }
+                }
+            } else {
+                // Weighted statement mix: real -O2 code spends most of its
+                // dynamic instructions in register arithmetic between global
+                // accesses; the bookkeeping OM removes must not dominate.
+                match self.rng.gen_range(0..14) {
+                    0 => {
+                        let g = self.rng.gen_range(0..spec.scalars_per_module);
+                        let t = self.int_term(m, global_idx, &mut branch_budget);
+                        format!("  g{m}_{g} = g{m}_{g} + {t};\n")
+                    }
+                    1 => {
+                        let a = self.rng.gen_range(0..spec.arrays_per_module);
+                        let idx = self.int_term_simple();
+                        let t = self.int_term_simple();
+                        let lmask = self.array_mask(a);
+                        format!("  arr{m}_{a}[{idx} & {lmask}] = acc + {t};\n")
+                    }
+                    2 if kind == Kind::Float => {
+                        let t = self.float_term(m);
+                        format!("  facc = {t};\n")
+                    }
+                    3 => {
+                        let t1 = self.int_term(m, global_idx, &mut branch_budget);
+                        let t2 = self.int_term_simple();
+                        let k = self.rng.gen_range(0..4096);
+                        format!(
+                            "  if ((acc & 4095) > {k}) {{ acc = acc + {t1}; }} else {{ acc = acc ^ {t2}; }}\n"
+                        )
+                    }
+                    4 => {
+                        // A short array scan with real arithmetic per element
+                        // (a compiler with loop-invariant motion would hoist
+                        // the GAT load; ours reloads it, so keep scans short
+                        // to avoid inflating OM's dynamic benefit).
+                        let a = self.rng.gen_range(0..spec.arrays_per_module);
+                        let n = self.rng.gen_range(2..5);
+                        let lmask = self.array_mask(a);
+                        format!(
+                            "  int lt{s} = 0;\n  for (lt{s} = 0; lt{s} < {n}; lt{s} = lt{s} + 1) {{ acc = acc + arr{m}_{a}[(lt{s} + a) & {lmask}] * (lt{s} + 3) + (acc >> 2); }}\n"
+                        )
+                    }
+                    5 => {
+                        let t = self.int_term(m, global_idx, &mut branch_budget);
+                        format!("  acc = acc * 5 + {t};\n")
+                    }
+                    6 | 7 => {
+                        // Pure register arithmetic chain (3 ops, no memory).
+                        let k1 = self.rng.gen_range(3..50);
+                        let k2 = self.rng.gen_range(1..30);
+                        let sh = self.rng.gen_range(1..9);
+                        format!("  acc = (acc * {k1} + a * {k2}) ^ (b >> {sh});\n")
+                    }
+                    8 | 9 => {
+                        let k = self.rng.gen_range(1..64);
+                        format!("  acc = acc + ((a ^ acc) & {k}) * (b | 1);\n")
+                    }
+                    10 | 11 => {
+                        let sh = self.rng.gen_range(1..16);
+                        format!("  acc = (acc << 1) ^ (acc >> {sh}) ^ a;\n")
+                    }
+                    _ => {
+                        let k = self.rng.gen_range(2..40);
+                        format!("  acc = acc + (a + b) * {k} - (acc >> 3);\n")
+                    }
+                }
+            };
+            body.push_str(&stmt);
+        }
+
+        match kind {
+            Kind::Int => body.push_str("  return acc;\n}\n\n"),
+            Kind::Float => body.push_str("  return facc + float(acc & 65535) * 0.001;\n}\n\n"),
+        }
+        body
+    }
+
+    fn module_source(&mut self, m: usize) -> String {
+        let spec = self.spec;
+        let mut out = String::new();
+
+        // Globals: non-static scalars become commons (for the common-sorting
+        // transformation); some are static or initialized for variety.
+        for g in 0..spec.scalars_per_module {
+            match g % 4 {
+                0 => {
+                    let _ = writeln!(out, "static int g{m}_{g} = {};", (g * 13 + m) % 97);
+                }
+                1 => {
+                    let _ = writeln!(out, "int g{m}_{g} = {};", (g * 7 + m) % 89);
+                }
+                _ => {
+                    let _ = writeln!(out, "int g{m}_{g};");
+                }
+            }
+        }
+        for a in 0..spec.arrays_per_module {
+            let len = self.array_len(a);
+            if a % 5 == 0 {
+                // Initialized arrays go to .data, far beyond the GP window:
+                // their address loads can only ever be converted, not
+                // nullified.
+                let _ = writeln!(
+                    out,
+                    "int arr{m}_{a}[{len}] = {{ {}, {} }};",
+                    (a * 3 + m) % 100,
+                    (a * 7 + m) % 100
+                );
+            } else if a % 5 == 1 {
+                let _ = writeln!(out, "static int arr{m}_{a}[{len}];");
+            } else {
+                // Uninitialized exported arrays become commons, sorted by
+                // size near the GAT at link time.
+                let _ = writeln!(out, "int arr{m}_{a}[{len}];");
+            }
+        }
+        out.push('\n');
+
+        // Procedures (externs are prepended afterwards).
+        let mut bodies = String::new();
+        for idx in 0..self.procs.len() {
+            if self.procs[idx].module == m {
+                bodies.push_str(&self.proc_source(idx));
+            }
+        }
+
+        let mut head = String::new();
+        for d in &self.externs[m] {
+            let _ = writeln!(head, "{d}");
+        }
+        head.push('\n');
+        format!("{head}{out}{bodies}")
+    }
+
+    /// The `main` module: initialization, the driving loop, procedure
+    /// variables, the bounded recursive procedure, and the final checksum.
+    fn main_source(&mut self) -> String {
+        let spec = self.spec;
+        let mut out = String::new();
+        let mut out_kernel = String::new();
+        let mut decls = std::collections::BTreeSet::new();
+        decls.insert("extern int cksum_reset();".to_string());
+        decls.insert("extern int cksum_add(int);".to_string());
+        decls.insert("extern int cksum_get();".to_string());
+        decls.insert("extern int rng_seed(int);".to_string());
+        decls.insert("extern int stat_reset();".to_string());
+
+        // Entries: the last (exported, int) proc of each module.
+        let mut entries = Vec::new();
+        for m in 0..spec.modules {
+            let p = &self.procs[m * spec.procs_per_module + spec.procs_per_module - 1];
+            assert!(!p.is_static && p.kind == Kind::Int);
+            decls.insert(format!("extern int {}(int, int);", p.name));
+            entries.push(p.name.clone());
+        }
+
+        // fnptr targets: exported int procs.
+        let targets: Vec<String> = self
+            .procs
+            .iter()
+            .filter(|p| !p.is_static && p.kind == Kind::Int)
+            .map(|p| p.name.clone())
+            .collect();
+        let mut fnptr_lines = String::new();
+        for f in 0..spec.fnptrs {
+            let t = &targets[f % targets.len()];
+            decls.insert(format!("extern int {t}(int, int);"));
+            let _ = writeln!(fnptr_lines, "fnptr hp{f} = &{t};");
+        }
+
+        if spec.recursive {
+            out.push_str(
+                "static int recurse(int n, int salt) {\n  if (n <= 1) { return salt & 1023; }\n  return recurse(n - 1, salt * 3 + n) + (n & 7);\n}\n\n",
+            );
+        }
+
+        // The hot kernel: a long register-arithmetic loop with sparse memory
+        // traffic, like the inner loops where real SPEC codes spend their
+        // cycles. Most of its dynamic instructions are not removable
+        // bookkeeping, which keeps OM's dynamic benefit in the paper's range.
+        let kiters = 24 + (spec.seed % 17) * 3;
+        let kmask = self.array_mask(2);
+        let klen = self.array_len(2);
+        decls.insert(format!("extern int arr0_2[{klen}];"));
+        let _ = write!(
+            out_kernel,
+            "static int kernel(int a, int b) {{\n  int x = a * 3 + 1;\n  int y = b | 5;\n  int s = 0;\n  int k = 0;\n  for (k = 0; k < {kiters}; k = k + 1) {{\n    x = (x * 29 + y) ^ (s >> 3);\n    y = (y << 1) ^ (x >> 7) ^ k;\n    s = s + ((x ^ y) & 8191);\n    x = x + (y & 63) * 9 - (x >> 11);\n    y = y ^ (x * 13 + 7);\n    s = (s << 1) ^ (s >> 9) ^ (x & y);\n    x = x * 5 + y * 3 - (s & 4095);\n    y = y + (x >> 2) - (s >> 5);\n    if ((k & 7) == 0) {{ s = s + arr0_2[(x ^ k) & {kmask}]; }}\n    s = s ^ (x + y);\n  }}\n  return s;\n}}\n\n"
+        );
+
+        out.push_str(&out_kernel);
+        out.push_str("int main() {\n");
+        let _ = writeln!(out, "  cksum_reset();");
+        let _ = writeln!(out, "  stat_reset();");
+        let _ = writeln!(out, "  rng_seed({});", spec.seed % 100_000);
+        out.push_str("  int t = 1;\n  int i = 0;\n");
+        let _ = writeln!(out, "  for (i = 0; i < {}; i = i + 1) {{", spec.iters);
+        let _ = writeln!(out, "    t = t + kernel(i, t & 1023);");
+        let _ = writeln!(out, "    t = t ^ kernel(t & 511, i + 7);");
+        for (k, e) in entries.iter().enumerate() {
+            let _ = writeln!(out, "    t = t + {e}(i + {k}, t & 0xFFFF);");
+        }
+        for f in 0..spec.fnptrs {
+            let a = &targets[(f * 7 + 3) % targets.len()];
+            let b = &targets[(f * 5 + 1) % targets.len()];
+            decls.insert(format!("extern int {a}(int, int);"));
+            decls.insert(format!("extern int {b}(int, int);"));
+            let _ = writeln!(
+                out,
+                "    if ((i & 3) == {}) {{ hp{f} = &{a}; }} else {{ hp{f} = &{b}; }}",
+                f % 4
+            );
+            let _ = writeln!(out, "    t = t ^ hp{f}(i, t & 255);");
+        }
+        if spec.recursive {
+            let _ = writeln!(out, "    t = t + recurse((i & 15) + 2, t);");
+        }
+        out.push_str("    cksum_add(t);\n  }\n");
+        out.push_str("  return cksum_get() ^ (t & 0xFFFF);\n}\n");
+
+        let mut head = String::new();
+        for d in &decls {
+            let _ = writeln!(head, "{d}");
+        }
+        format!("{head}\n{fnptr_lines}\n{out}")
+    }
+}
+
+/// A nonce folded into every seed so workload streams are distinct from any
+/// other use of the seeds.
+const SEED_SALT: u64 = 0x0707_1994_0606_1994;
+
+/// Generates the user-module sources of a benchmark (library excluded).
+pub fn generate(spec: &BenchSpec) -> Sources {
+    let mut g = Gen::new(*spec);
+    let mut sources = Vec::new();
+    for m in 0..spec.modules {
+        let src = g.module_source(m);
+        sources.push((format!("{}_{m:02}", spec.name), src));
+    }
+    sources.push((format!("{}_main", spec.name), g.main_source()));
+    sources
+}

@@ -1,0 +1,31 @@
+//! Synthetic SPEC92 stand-in workloads for the OM reproduction.
+//!
+//! The paper evaluates on the 19 programs of SPEC92 (minus `gcc`) compiled
+//! two ways and linked with pre-compiled libraries. This crate generates 19
+//! deterministic mini-C benchmarks with matching structural character (see
+//! [`spec`]), a pre-compiled standard library ([`stdlib`]), and build
+//! drivers for the paper's compile-each and compile-all variants
+//! ([`build`]).
+//!
+//! # Example
+//!
+//! ```
+//! use om_workloads::{build::{build, CompileMode}, spec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut s = spec::by_name("compress").unwrap();
+//! s.iters = 5; // keep the doc test fast
+//! let built = build(&spec::quick(&s), CompileMode::Each)?;
+//! assert!(built.objects.len() > 2); // crt0 + several user modules
+//! assert_eq!(built.libs.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod build;
+pub mod gen;
+pub mod spec;
+pub mod stdlib;
+
+pub use build::{stdlib_archive, BuildError, BuiltBenchmark, CompileMode};
+pub use gen::BenchSpec;

@@ -1,0 +1,120 @@
+//! The 19-benchmark suite: SPEC92 minus `gcc`, exactly the set the paper
+//! evaluates ("The programs we used are the SPEC92 suite with the exception
+//! of gcc").
+//!
+//! Each entry's structural parameters mimic the named program's published
+//! character: `fpppp` and `doduc` have very large basic blocks (the paper
+//! singles them out as expensive to schedule), `li` and `sc` are built from
+//! many small procedures with procedure variables, `spice` makes heavy
+//! library use ("statically half the calls are from one library routine to
+//! another"), and the floating-point codes lean on FP-typed procedures and
+//! larger arrays.
+
+use crate::gen::BenchSpec;
+
+/// Shorthand constructor with the common defaults.
+#[allow(clippy::too_many_arguments)]
+const fn spec(
+    name: &'static str,
+    seed: u64,
+    modules: usize,
+    procs_per_module: usize,
+    static_frac: f64,
+    float_frac: f64,
+    calls_per_proc: usize,
+    lib_call_frac: f64,
+    fnptrs: usize,
+    iters: u64,
+    block_stmts: usize,
+) -> BenchSpec {
+    BenchSpec {
+        name,
+        seed,
+        modules,
+        procs_per_module,
+        static_frac,
+        scalars_per_module: 96,
+        arrays_per_module: 10,
+        array_pow2: 7,
+        float_frac,
+        calls_per_proc,
+        lib_call_frac,
+        fnptrs,
+        iters,
+        block_stmts,
+        recursive: true,
+    }
+}
+
+/// All 19 benchmarks.
+pub fn all() -> Vec<BenchSpec> {
+    vec![
+        // name        seed mod pr  stat  fp   calls lib  fnp iters blk
+        spec("alvinn", 11, 3, 5, 0.10, 0.60, 2, 0.30, 0, 260, 14),
+        spec("compress", 12, 3, 6, 0.20, 0.00, 2, 0.35, 0, 300, 10),
+        spec("doduc", 13, 5, 6, 0.10, 0.55, 3, 0.25, 0, 120, 42),
+        spec("ear", 14, 4, 5, 0.15, 0.60, 2, 0.30, 0, 240, 12),
+        spec("eqntott", 15, 3, 7, 0.15, 0.00, 2, 0.40, 1, 280, 8),
+        spec("espresso", 16, 7, 8, 0.20, 0.00, 3, 0.30, 1, 150, 9),
+        spec("fpppp", 17, 2, 3, 0.00, 0.55, 2, 0.25, 0, 120, 70),
+        spec("hydro2d", 18, 4, 6, 0.10, 0.65, 2, 0.30, 0, 220, 16),
+        spec("li", 19, 6, 9, 0.25, 0.00, 3, 0.35, 4, 130, 5),
+        spec("mdljdp2", 20, 4, 5, 0.10, 0.60, 2, 0.30, 0, 240, 15),
+        spec("mdljsp2", 21, 4, 5, 0.10, 0.60, 2, 0.30, 0, 240, 14),
+        spec("nasa7", 22, 3, 5, 0.05, 0.65, 2, 0.30, 0, 260, 18),
+        spec("ora", 23, 2, 4, 0.10, 0.60, 2, 0.40, 0, 340, 10),
+        spec("sc", 24, 5, 8, 0.25, 0.00, 3, 0.35, 3, 150, 6),
+        spec("spice", 25, 6, 6, 0.10, 0.30, 4, 0.70, 1, 140, 12),
+        spec("su2cor", 26, 4, 5, 0.10, 0.60, 2, 0.30, 0, 240, 16),
+        spec("swm256", 27, 3, 4, 0.05, 0.65, 2, 0.25, 0, 280, 20),
+        spec("tomcatv", 28, 2, 4, 0.05, 0.65, 2, 0.25, 0, 320, 18),
+        spec("wave5", 29, 4, 6, 0.10, 0.60, 2, 0.30, 0, 220, 14),
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<BenchSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// A scaled-down copy of a spec for fast tests (fewer iterations).
+pub fn quick(spec: &BenchSpec) -> BenchSpec {
+    BenchSpec { iters: spec.iters.min(12), ..*spec }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks_with_unique_names() {
+        let specs = all();
+        assert_eq!(specs.len(), 19, "SPEC92 minus gcc");
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+        assert!(by_name("spice").is_some());
+        assert!(by_name("gcc").is_none());
+    }
+
+    #[test]
+    fn character_parameters_follow_the_paper() {
+        let spice = by_name("spice").unwrap();
+        let fpppp = by_name("fpppp").unwrap();
+        let li = by_name("li").unwrap();
+        // spice: heaviest library calling.
+        assert!(all().iter().all(|s| s.lib_call_frac <= spice.lib_call_frac));
+        // fpppp: the largest basic blocks.
+        assert!(all().iter().all(|s| s.block_stmts <= fpppp.block_stmts));
+        // li: procedure variables present.
+        assert!(li.fnptrs > 0);
+    }
+
+    #[test]
+    fn quick_mode_shrinks_iterations() {
+        let s = by_name("tomcatv").unwrap();
+        assert!(quick(&s).iters < s.iters);
+        assert_eq!(quick(&s).modules, s.modules);
+    }
+}

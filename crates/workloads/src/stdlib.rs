@@ -1,0 +1,332 @@
+//! The pre-compiled standard library every benchmark links against.
+//!
+//! This reproduces a key property of the paper's experimental setup: library
+//! code was compiled long before the applications ("In fact, we have no
+//! sources for the library routines"), so compile-time interprocedural
+//! optimization can do nothing about calls into it — but OM sees the library
+//! members "in exactly the same way that it handles user code". The modules
+//! deliberately call each other: in the paper's `spice`, "statically half
+//! the calls are from one library routine to another".
+//!
+//! Everything is ordinary mini-C. `__divq`/`__remq` are the divide millicode
+//! the Alpha needs because it has no integer-divide instruction; their
+//! conventions (`x/0 == 0`, `x%0 == x`) match the reference interpreter.
+
+/// `(module name, source)` for every library member.
+pub const STDLIB_SOURCES: &[(&str, &str)] = &[
+    (
+        "divmod",
+        "
+        int __divq(int a, int b) {
+            if (b == 0) { return 0; }
+            if (a == 0x8000000000000000) {
+                // Split MIN (which cannot be negated) into halves.
+                int q2 = __divq(a >> 1, b);
+                int r2 = (a >> 1) - q2 * b;
+                return q2 * 2 + __divq(r2 * 2, b);
+            }
+            if (b == 0x8000000000000000) { return 0; }
+            int neg = 0;
+            if (a < 0) { a = 0 - a; neg = 1 - neg; }
+            if (b < 0) { b = 0 - b; neg = 1 - neg; }
+            int q = 0;
+            if (b > 0x4000000000000000) {
+                if (a >= b) { q = 1; }
+                if (neg) { return 0 - q; }
+                return q;
+            }
+            int r = 0;
+            int i = 62;
+            for (i = 62; i >= 0; i = i - 1) {
+                r = (r << 1) | ((a >> i) & 1);
+                if (r >= b) { r = r - b; q = q + (1 << i); }
+            }
+            if (neg) { return 0 - q; }
+            return q;
+        }
+        int __remq(int a, int b) {
+            if (b == 0) { return a; }
+            return a - __divq(a, b) * b;
+        }",
+    ),
+    (
+        "mathint",
+        "
+        int abs_i(int x) { if (x < 0) { return 0 - x; } return x; }
+        int min_i(int a, int b) { if (a < b) { return a; } return b; }
+        int max_i(int a, int b) { if (a > b) { return a; } return b; }
+        int clamp_i(int x, int lo, int hi) { return max_i(lo, min_i(x, hi)); }
+        int sign_i(int x) { if (x > 0) { return 1; } if (x < 0) { return -1; } return 0; }
+        int gcd_i(int a, int b) {
+            a = abs_i(a);
+            b = abs_i(b);
+            while (b != 0) { int t = a % b; a = b; b = t; }
+            return a;
+        }
+        int isqrt(int x) {
+            if (x <= 0) { return 0; }
+            int r = x;
+            int last = 0;
+            int n = 0;
+            for (n = 0; n < 40; n = n + 1) {
+                last = r;
+                r = (r + x / r) / 2;
+                if (r == last) { return r; }
+            }
+            return r;
+        }
+        int ipow(int base, int e) {
+            int r = 1;
+            while (e > 0) {
+                if (e & 1) { r = r * base; }
+                base = base * base;
+                e = e >> 1;
+            }
+            return r;
+        }",
+    ),
+    (
+        "mathf",
+        "
+        float fabs_f(float x) { if (x < 0.0) { return 0.0 - x; } return x; }
+        float fmin_f(float a, float b) { if (a < b) { return a; } return b; }
+        float fmax_f(float a, float b) { if (a > b) { return a; } return b; }
+        float sqrt_f(float x) {
+            if (x <= 0.0) { return 0.0; }
+            float r = x;
+            int n = 0;
+            for (n = 0; n < 30; n = n + 1) { r = (r + x / r) * 0.5; }
+            return r;
+        }
+        float exp_f(float x) {
+            // Bounded series; adequate for benchmark arithmetic.
+            float term = 1.0;
+            float sum = 1.0;
+            int n = 1;
+            x = fmax_f(-8.0, fmin_f(x, 8.0));
+            for (n = 1; n < 18; n = n + 1) { term = term * x / float(n); sum = sum + term; }
+            return sum;
+        }
+        float sin_f(float x) {
+            // Clamp (keeps the crude range reduction bounded), then reduce
+            // and evaluate a short Taylor series.
+            x = fmax_f(-512.0, fmin_f(x, 512.0));
+            while (x > 3.141592653589793) { x = x - 6.283185307179586; }
+            while (x < -3.141592653589793) { x = x + 6.283185307179586; }
+            float x2 = x * x;
+            return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+        }
+        float lerp_f(float a, float b, float t) { return a + (b - a) * t; }",
+    ),
+    (
+        "hash",
+        "
+        int mix64(int x) {
+            x = x ^ (x >> 30);
+            x = x * 0x4F2162361A852F2B;
+            x = x ^ (x >> 27);
+            x = x * 0x465A4A7D4FD1CC2F;
+            x = x ^ (x >> 31);
+            return x;
+        }
+        int hash2(int a, int b) { return mix64(a ^ mix64(b)); }
+        static int cksum_state;
+        int cksum_reset() { cksum_state = 0; return 0; }
+        int cksum_add(int x) {
+            cksum_state = mix64(cksum_state ^ x) + x;
+            return cksum_state;
+        }
+        int cksum_get() { return cksum_state & 0xFFFFFFFF; }",
+    ),
+    (
+        "rng",
+        "
+        extern int mix64(int);
+        static int rng_state = 0x9E3779B97F4A7C15;
+        int rng_seed(int s) { rng_state = mix64(s) | 1; return rng_state; }
+        int rng_next() {
+            rng_state = rng_state * 6364136223846793005 + 1442695040888963407;
+            return (rng_state >> 17) & 0x7FFFFFFF;
+        }
+        int rng_range(int n) {
+            if (n <= 0) { return 0; }
+            return rng_next() % n;
+        }",
+    ),
+    (
+        "stats",
+        "
+        extern int abs_i(int);
+        extern int isqrt(int);
+        static int s_count;
+        static int s_sum;
+        static int s_min;
+        static int s_max;
+        int stat_reset() { s_count = 0; s_sum = 0; s_min = 0; s_max = 0; return 0; }
+        int stat_push(int x) {
+            if (s_count == 0) { s_min = x; s_max = x; }
+            if (x < s_min) { s_min = x; }
+            if (x > s_max) { s_max = x; }
+            s_count = s_count + 1;
+            s_sum = s_sum + x;
+            return s_count;
+        }
+        int stat_mean() { if (s_count == 0) { return 0; } return s_sum / s_count; }
+        int stat_spread() { return abs_i(s_max - s_min); }
+        int stat_rms_ish() { return isqrt(abs_i(s_sum)); }",
+    ),
+    (
+        "sort",
+        "
+        extern int min_i(int, int);
+        static int heap[128];
+        static int heap_n;
+        int pq_reset() { heap_n = 0; return 0; }
+        int pq_push(int x) {
+            if (heap_n >= 128) { return -1; }
+            heap[heap_n] = x;
+            int i = heap_n;
+            heap_n = heap_n + 1;
+            while (i > 0) {
+                int parent = (i - 1) / 2;
+                if (heap[parent] <= heap[i]) { return i; }
+                int t = heap[parent];
+                heap[parent] = heap[i];
+                heap[i] = t;
+                i = parent;
+            }
+            return 0;
+        }
+        int pq_pop() {
+            if (heap_n == 0) { return -1; }
+            int top = heap[0];
+            heap_n = heap_n - 1;
+            heap[0] = heap[heap_n];
+            int i = 0;
+            while (1) {
+                int l = 2 * i + 1;
+                int r = 2 * i + 2;
+                int best = i;
+                if (l < heap_n && heap[l] < heap[best]) { best = l; }
+                if (r < heap_n && heap[r] < heap[best]) { best = r; }
+                if (best == i) { return top; }
+                int t = heap[best];
+                heap[best] = heap[i];
+                heap[i] = t;
+            }
+            return top;
+        }",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_minic::interp::run_sources;
+
+    fn with_main(main: &str) -> i64 {
+        let mut sources: Vec<(&str, &str)> = STDLIB_SOURCES.to_vec();
+        sources.push(("main", main));
+        run_sources(&sources, 50_000_000).unwrap()
+    }
+
+    #[test]
+    fn stdlib_parses_and_checks() {
+        for (name, src) in STDLIB_SOURCES {
+            let unit = om_minic::parse_unit(name, src)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            om_minic::check_unit(&unit).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn division_millicode_matches_interpreter_builtin() {
+        assert_eq!(
+            with_main(
+                "int main() { return 17/5 * 1000000 + (-17)/5 * -10000 + 17%5 * 100 + (-17)%5 * -1; }"
+            ),
+            3 * 1000000 + 3 * 10000 + 2 * 100 + 2
+        );
+        assert_eq!(with_main("int main() { return 7 / 0 + 7 % 0; }"), 7);
+        assert_eq!(
+            with_main("int main() { return 0x7FFFFFFFFFFFFFFF / 3; }"),
+            0x7FFF_FFFF_FFFF_FFFFi64 / 3
+        );
+    }
+
+    #[test]
+    fn math_helpers() {
+        assert_eq!(with_main("extern int isqrt(int); int main() { return isqrt(1000000); }"), 1000);
+        assert_eq!(with_main("extern int gcd_i(int,int); int main() { return gcd_i(84, -36); }"), 12);
+        assert_eq!(with_main("extern int ipow(int,int); int main() { return ipow(3, 7); }"), 2187);
+        assert_eq!(
+            with_main("extern int clamp_i(int,int,int); int main() { return clamp_i(50, 0, 10) + clamp_i(-5, 0, 10); }"),
+            10
+        );
+    }
+
+    #[test]
+    fn float_helpers() {
+        let r = with_main("extern float sqrt_f(float); int main() { return int(sqrt_f(2.0) * 1000000.0); }");
+        assert!((r - 1414213).abs() <= 1, "sqrt_f(2) ~ 1.414213: got {r}");
+        let r = with_main("extern float sin_f(float); int main() { return int(sin_f(1.5707963267948966) * 1000.0); }");
+        assert!((r - 1000).abs() <= 5, "sin(pi/2) ~ 1: got {r}");
+        let r = with_main("extern float exp_f(float); int main() { return int(exp_f(1.0) * 1000.0); }");
+        assert!((r - 2718).abs() <= 2, "e ~ 2.718: got {r}");
+    }
+
+    #[test]
+    fn stateful_modules() {
+        let r = with_main(
+            "extern int cksum_reset(); extern int cksum_add(int); extern int cksum_get();
+             int main() {
+               cksum_reset();
+               int i = 0;
+               for (i = 0; i < 10; i = i + 1) { cksum_add(i * 37); }
+               return cksum_get();
+             }",
+        );
+        assert_ne!(r, 0);
+        let r2 = with_main(
+            "extern int cksum_reset(); extern int cksum_add(int); extern int cksum_get();
+             int main() {
+               cksum_reset();
+               int i = 0;
+               for (i = 0; i < 10; i = i + 1) { cksum_add(i * 37); }
+               return cksum_get();
+             }",
+        );
+        assert_eq!(r, r2, "deterministic");
+    }
+
+    #[test]
+    fn priority_queue_sorts() {
+        let r = with_main(
+            "extern int pq_reset(); extern int pq_push(int); extern int pq_pop();
+             int main() {
+               pq_reset();
+               pq_push(5); pq_push(1); pq_push(9); pq_push(3); pq_push(7);
+               int out = 0;
+               int i = 0;
+               for (i = 0; i < 5; i = i + 1) { out = out * 10 + pq_pop(); }
+               return out;
+             }",
+        );
+        assert_eq!(r, 13579);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_lib_calls_lib() {
+        let r = with_main(
+            "extern int rng_seed(int); extern int rng_range(int);
+             int main() {
+               rng_seed(42);
+               int s = 0;
+               int i = 0;
+               for (i = 0; i < 100; i = i + 1) { s = s + rng_range(1000); }
+               return s;
+             }",
+        );
+        assert!(r > 0 && r < 100 * 1000);
+    }
+}

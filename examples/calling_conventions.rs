@@ -1,0 +1,60 @@
+//! A tour of the paper's §2 calling conventions and what each OM level does
+//! to them — the reproduction of Figures 1 and 2 in executable form.
+//!
+//! Disassembles a call site and a callee prologue under the standard link,
+//! OM-simple, and OM-full, so you can watch the `ldq pv / jsr / ldah gp /
+//! lda gp` bookkeeping become a bare BSR.
+//!
+//! ```text
+//! cargo run --example calling_conventions
+//! ```
+
+use om_repro::alpha::disasm;
+use om_repro::codegen::{compile_source, crt0, CompileOpts};
+use om_repro::core::{optimize_and_link, OmLevel};
+use om_repro::linker::Image;
+
+const SRC: &str = "
+    int v;
+    int callee(int x) {
+        v = v + x;          // a global variable access: GAT load + use
+        return v * 2;
+    }
+    int main() {
+        return callee(5) + callee(7) + v;
+    }";
+
+fn dump_proc(image: &Image, name: &str, words: usize) {
+    let addr = image.symbols[name];
+    let text = &image.segments[0];
+    let off = (addr - text.base) as usize;
+    let end = (off + 4 * words).min(text.bytes.len());
+    println!("{name}:");
+    print!("{}", disasm::section(addr, &text.bytes[off..end]));
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = CompileOpts::o2();
+    let objects = vec![crt0::module()?, compile_source("m", SRC, &opts)?];
+
+    for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full] {
+        let out = optimize_and_link(objects.clone(), &[], level)?;
+        println!("==================== {} ====================", level.name());
+        dump_proc(&out.image, "callee", 10);
+        println!();
+        dump_proc(&out.image, "main", 18);
+        let s = out.stats;
+        println!(
+            "\ncalls: {} total | PV loads {} -> {} | GP resets {} -> {} | JSR->BSR {}\n",
+            s.calls_total,
+            s.calls_pv_before,
+            s.calls_pv_after,
+            s.calls_gp_reset_before,
+            s.calls_gp_reset_after,
+            s.calls_jsr_to_bsr
+        );
+        let r = om_repro::sim::run_image(&out.image, 100_000)?;
+        println!("result = {}\n", r.result);
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Shared-library semantics: the paper's §6 notes that calls to dynamically
+//! linked routines cannot be optimized the way statically linked calls can.
+//! Mark a symbol preemptible and watch OM leave exactly its bookkeeping
+//! alone while optimizing everything else.
+//!
+//! ```text
+//! cargo run --example shared_library
+//! ```
+
+use om_repro::codegen::{compile_source, crt0, CompileOpts};
+use om_repro::core::{optimize_and_link, optimize_and_link_with, OmLevel, OmOptions};
+use om_repro::sim::run_image;
+
+const SRC: &[(&str, &str)] = &[
+    (
+        "app",
+        "extern int codec(int); extern int helper(int);
+         int total;
+         int main() {
+           int i = 0;
+           for (i = 0; i < 8; i = i + 1) { total = total + codec(i) + helper(i); }
+           return total;
+         }",
+    ),
+    (
+        "libcodec",
+        "int codec(int x) { return x * 7 + 3; }
+         int helper(int x) { return x ^ 0x55; }",
+    ),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = CompileOpts::o2();
+    let mut objects = vec![crt0::module()?];
+    for (n, s) in SRC {
+        objects.push(compile_source(n, s, &opts)?);
+    }
+
+    let closed = optimize_and_link(objects.clone(), &[], OmLevel::Full)?;
+    println!("fully static link (everything optimizable):");
+    println!(
+        "  PV loads {} -> {}, GP resets {} -> {}, JSR->BSR {}",
+        closed.stats.calls_pv_before,
+        closed.stats.calls_pv_after,
+        closed.stats.calls_gp_reset_before,
+        closed.stats.calls_gp_reset_after,
+        closed.stats.calls_jsr_to_bsr
+    );
+
+    let options = OmOptions {
+        preemptible: vec!["codec".to_string()],
+        ..OmOptions::default()
+    };
+    let dynamic = optimize_and_link_with(objects, &[], OmLevel::Full, &options)?;
+    println!("\nwith `codec` marked preemptible (a dynamic-library export):");
+    println!(
+        "  PV loads {} -> {}, GP resets {} -> {}, JSR->BSR {}",
+        dynamic.stats.calls_pv_before,
+        dynamic.stats.calls_pv_after,
+        dynamic.stats.calls_gp_reset_before,
+        dynamic.stats.calls_gp_reset_after,
+        dynamic.stats.calls_jsr_to_bsr
+    );
+    println!(
+        "  GAT: {} -> {} slots (codec's slot survives)",
+        dynamic.stats.gat_slots_before, dynamic.stats.gat_slots_after
+    );
+
+    let a = run_image(&closed.image, 1_000_000)?.result;
+    let b = run_image(&dynamic.image, 1_000_000)?.result;
+    assert_eq!(a, b);
+    println!("\nresults identical in this closed world: {a}");
+    Ok(())
+}

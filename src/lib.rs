@@ -1,0 +1,14 @@
+//! Umbrella crate for the OM link-time-optimization reproduction.
+//!
+//! Re-exports the workspace crates so the examples and integration tests can
+//! use one coherent namespace. See `README.md` for the architecture overview
+//! and `DESIGN.md` for the per-experiment index.
+
+pub use om_alpha as alpha;
+pub use om_codegen as codegen;
+pub use om_core as core;
+pub use om_linker as linker;
+pub use om_minic as minic;
+pub use om_objfile as objfile;
+pub use om_sim as sim;
+pub use om_workloads as workloads;

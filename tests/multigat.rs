@@ -1,0 +1,130 @@
+//! Multi-GAT programs (§2: "for large programs, the global address table may
+//! be so large that it cannot be accessed via a single unchanging global
+//! pointer").
+//!
+//! We inflate two modules' literal pools past the 8191-slot group capacity so
+//! the linker must split the program into two GP groups, then check:
+//!
+//! * the standard link still runs correctly (the conservative conventions
+//!   exist exactly for this case),
+//! * OM-simple must *keep* the GP-reset code across the group boundary,
+//! * OM-full's GAT reduction collapses the dead slots, re-unifying the
+//!   program into one group and unlocking the full optimization.
+
+use om_repro::codegen::{compile_source, crt0, CompileOpts};
+use om_repro::core::{optimize_and_link, OmLevel};
+use om_repro::linker::{LayoutOpts, Linker, GAT_GROUP_CAPACITY};
+use om_repro::objfile::{LitaEntry, Module, SymId, Symbol};
+use om_repro::sim::run_image;
+
+/// Pads a module's GAT with `n` never-referenced slots (each naming its own
+/// fresh common symbol, so none of them merge).
+fn pad_gat(m: &mut Module, n: usize, tag: &str) {
+    for i in 0..n {
+        let id = SymId(m.symbols.len() as u32);
+        m.symbols.push(Symbol::common(format!("pad_{tag}_{i}"), 8, 8));
+        m.lita.push(LitaEntry { sym: id, addend: 0 });
+    }
+    m.validate().unwrap();
+}
+
+fn build_program() -> Vec<Module> {
+    let opts = CompileOpts::o2();
+    let mut main_obj = compile_source(
+        "main",
+        "extern int far_mix(int);
+         int near_g;
+         int main() {
+           int i = 0;
+           for (i = 0; i < 8; i = i + 1) { near_g = near_g + far_mix(near_g + i); }
+           return near_g;
+         }",
+        &opts,
+    )
+    .unwrap();
+    let mut far_obj = compile_source(
+        "far",
+        "int far_g = 7;
+         int far_mix(int x) { far_g = far_g * 3 + 1; return (x ^ far_g) & 0xFFFF; }",
+        &opts,
+    )
+    .unwrap();
+
+    // Fill most of group 0 with main's padding, then overflow with far's.
+    pad_gat(&mut main_obj, GAT_GROUP_CAPACITY - 200, "a");
+    pad_gat(&mut far_obj, 4000, "b");
+    vec![crt0::module().unwrap(), main_obj, far_obj]
+}
+
+fn expected() -> i64 {
+    om_repro::minic::interp::run_sources(
+        &[
+            (
+                "main",
+                "extern int far_mix(int);
+                 int near_g;
+                 int main() {
+                   int i = 0;
+                   for (i = 0; i < 8; i = i + 1) { near_g = near_g + far_mix(near_g + i); }
+                   return near_g;
+                 }",
+            ),
+            (
+                "far",
+                "int far_g = 7;
+                 int far_mix(int x) { far_g = far_g * 3 + 1; return (x ^ far_g) & 0xFFFF; }",
+            ),
+        ],
+        1_000_000,
+    )
+    .unwrap()
+}
+
+#[test]
+fn standard_link_splits_groups_and_still_runs() {
+    let objects = build_program();
+    let mut linker = Linker::new();
+    for o in objects {
+        linker = linker.object(o);
+    }
+    let (image, stats) = linker.link().unwrap();
+    assert!(stats.gp_groups >= 2, "expected a group split, got {stats:?}");
+    assert_eq!(run_image(&image, 10_000_000).unwrap().result, expected());
+}
+
+#[test]
+fn om_simple_keeps_cross_group_gp_resets() {
+    let objects = build_program();
+    let out = optimize_and_link(objects, &[], OmLevel::Simple).unwrap();
+    // The call from main's group to far's group must keep its GP reset; the
+    // intra-group calls (crt0 → main) lose theirs.
+    assert!(
+        out.stats.calls_gp_reset_after > 0,
+        "cross-group call must keep its GP reset: {:?}",
+        out.stats
+    );
+    assert_eq!(run_image(&out.image, 10_000_000).unwrap().result, expected());
+}
+
+#[test]
+fn om_full_collapses_dead_slots_back_to_one_group() {
+    let objects = build_program();
+    let out = optimize_and_link(objects, &[], OmLevel::Full).unwrap();
+    // Padding slots are never referenced, so GAT reduction removes them,
+    // the program fits one group again, and no GP reset survives.
+    assert_eq!(out.stats.calls_gp_reset_after, 0, "{:?}", out.stats);
+    assert!(out.stats.gat_slots_after < 100, "{:?}", out.stats);
+    assert_eq!(run_image(&out.image, 10_000_000).unwrap().result, expected());
+}
+
+#[test]
+fn sorted_commons_layout_is_accepted_at_scale() {
+    // Sanity: the OM layout policy handles ~12k commons without pathology.
+    let objects = build_program();
+    let mut linker = Linker::new().layout_opts(LayoutOpts { sort_commons: true });
+    for o in objects {
+        linker = linker.object(o);
+    }
+    let (image, _) = linker.link().unwrap();
+    assert_eq!(run_image(&image, 10_000_000).unwrap().result, expected());
+}
