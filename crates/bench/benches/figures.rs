@@ -1,77 +1,65 @@
-//! Criterion benches over the build pipeline — the measured counterpart of
+//! Micro-benchmarks over the build pipeline — the measured counterpart of
 //! the paper's Figure 7 (processing time of the standard link vs OM's
 //! levels) plus compile and simulation throughput context.
+//!
+//! A std-only harness (`harness = false`; the workspace builds offline, so
+//! no criterion): each case is warmed up once, then timed over enough
+//! iterations to smooth scheduler noise, reporting mean wall time per
+//! iteration.
+//!
+//! ```text
+//! cargo bench -p om-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use om_core::{optimize_and_link, OmLevel};
-use om_linker::Linker;
+use om_linker::{link_modules, LayoutOpts};
 use om_workloads::build::{build, CompileMode};
 use om_workloads::spec;
+use std::time::Instant;
 
-/// Figure 7 pipeline timings on a representative benchmark.
-fn fig7_build_times(c: &mut Criterion) {
+const SAMPLES: u32 = 10;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warm-up (also faults in lazily-built state)
+    let t0 = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / f64::from(SAMPLES);
+    println!("{name:40} {:>12.3} ms/iter ({SAMPLES} samples)", per * 1e3);
+}
+
+fn main() {
     let s = spec::quick(&spec::by_name("espresso").unwrap());
     let built = build(&s, CompileMode::Each).unwrap();
 
-    let mut g = c.benchmark_group("fig7_build_times");
-    g.sample_size(10);
-
-    g.bench_function("standard_link", |b| {
-        b.iter_batched(
-            || (built.objects.clone(), built.libs.clone()),
-            |(objs, libs)| {
-                let mut linker = Linker::new();
-                for o in objs {
-                    linker = linker.object(o);
-                }
-                for l in libs {
-                    linker = linker.library(l);
-                }
-                linker.link().unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    // Figure 7 pipeline timings on a representative benchmark.
+    bench("fig7_build_times/standard_link", || {
+        link_modules(&built.objects, &built.libs, &LayoutOpts::default()).unwrap();
     });
-
-    for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-        g.bench_function(level.name().replace([' ', '/'], "_"), |b| {
-            b.iter_batched(
-                || (built.objects.clone(), built.libs.clone()),
-                |(objs, libs)| optimize_and_link(objs, &libs, level).unwrap(),
-                BatchSize::SmallInput,
-            )
+    for level in OmLevel::ALL {
+        let name = format!(
+            "fig7_build_times/{}",
+            level.name().replace([' ', '/'], "_")
+        );
+        bench(&name, || {
+            optimize_and_link(&built.objects, &built.libs, level).unwrap();
         });
     }
-    g.finish();
-}
 
-/// The paper's "interproc build" row: recompiling everything from source.
-fn fig7_interproc_build(c: &mut Criterion) {
-    let s = spec::quick(&spec::by_name("espresso").unwrap());
-    let mut g = c.benchmark_group("fig7_interproc_build");
-    g.sample_size(10);
-    g.bench_function("compile_all_from_source", |b| {
-        b.iter(|| build(&s, CompileMode::All).unwrap())
+    // The paper's "interproc build" row: recompiling everything from source.
+    bench("fig7_interproc_build/compile_all_from_source", || {
+        build(&s, CompileMode::All).unwrap();
     });
-    g.bench_function("compile_each_from_source", |b| {
-        b.iter(|| build(&s, CompileMode::Each).unwrap())
+    bench("fig7_interproc_build/compile_each_from_source", || {
+        build(&s, CompileMode::Each).unwrap();
     });
-    g.finish();
-}
 
-/// Simulation throughput (context for Figure 6's measurement cost).
-fn simulator_throughput(c: &mut Criterion) {
-    let s = spec::quick(&spec::by_name("compress").unwrap());
-    let built = build(&s, CompileMode::Each).unwrap();
-    let out = optimize_and_link(built.objects.clone(), &built.libs, OmLevel::Full).unwrap();
-
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("timed_run", |b| {
-        b.iter(|| om_sim::run_timed(&out.image, 1_000_000_000).unwrap())
+    // Simulation throughput (context for Figure 6's measurement cost).
+    let cs = spec::quick(&spec::by_name("compress").unwrap());
+    let cbuilt = build(&cs, CompileMode::Each).unwrap();
+    let out = optimize_and_link(&cbuilt.objects, &cbuilt.libs, OmLevel::Full).unwrap();
+    bench("simulator/timed_run", || {
+        om_sim::run_timed(&out.image, 1_000_000_000).unwrap();
     });
-    g.finish();
 }
-
-criterion_group!(benches, fig7_build_times, fig7_interproc_build, simulator_throughput);
-criterion_main!(benches);

@@ -24,7 +24,15 @@ fn main() {
     while i < args.len() {
         if args[i] == "--bench" {
             i += 1;
-            filter.push(args.get(i).cloned().unwrap_or_default());
+            match args.get(i) {
+                Some(name) if !name.is_empty() && !name.starts_with('-') => {
+                    filter.push(name.clone());
+                }
+                _ => {
+                    eprintln!("error: --bench needs a benchmark name");
+                    std::process::exit(2);
+                }
+            }
         }
         i += 1;
     }
@@ -43,8 +51,7 @@ fn main() {
         let built = build(s, CompileMode::Each).unwrap();
         let run = |level: OmLevel, options: OmOptions| {
             let out =
-                optimize_and_link_with(built.objects.clone(), &built.libs, level, &options)
-                    .unwrap();
+                optimize_and_link_with(&built.objects, &built.libs, level, &options).unwrap();
             let (r, t) = run_timed(&out.image, 2_000_000_000).unwrap();
             (out.stats, r.result, t.cycles)
         };

@@ -4,47 +4,84 @@
 //!
 //! ```text
 //! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [all]
-//!           [--quick] [--bench NAME]...
+//!           [--quick] [--bench NAME]... [--jobs N] [--json PATH]
 //! ```
+//!
+//! Benchmarks are built and measured on a worker pool (`--jobs`, default =
+//! available parallelism); results are rendered in spec order, so stdout is
+//! byte-identical at any width. `--json` additionally writes machine-
+//! readable per-figure rows plus harness wall-clock and per-phase timings.
 
-use om_bench::figures::{self, Prepared};
-use om_bench::render;
+use om_bench::figures::{self, phase, Prepared, Selection};
+use om_bench::par::{default_jobs, parallel_map};
+use om_bench::{json, render};
 use om_workloads::spec;
+use std::time::Instant;
+
+const FIGURES: [&str; 6] = ["fig3", "fig4", "fig5", "fig6", "fig7", "gat"];
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|all] [--quick] \
+         [--bench NAME]... [--jobs N] [--json PATH]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
+    let t_start = Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<&str> = Vec::new();
     let mut quick = false;
     let mut filter: Vec<String> = Vec::new();
+    let mut jobs = default_jobs();
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--bench" => {
                 i += 1;
-                filter.push(args.get(i).cloned().unwrap_or_default());
+                match args.get(i) {
+                    Some(name) if !name.is_empty() && !name.starts_with('-') => {
+                        filter.push(name.clone());
+                    }
+                    _ => usage("--bench needs a benchmark name"),
+                }
             }
-            "all" => which.extend(["fig3", "fig4", "fig5", "fig6", "fig7", "gat"]),
-            f @ ("fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "gat") => which.push(match f {
-                "fig3" => "fig3",
-                "fig4" => "fig4",
-                "fig5" => "fig5",
-                "fig6" => "fig6",
-                "fig7" => "fig7",
-                _ => "gat",
-            }),
-            other => {
-                eprintln!("unknown argument `{other}`");
-                eprintln!("usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|all] [--quick] [--bench NAME]");
-                std::process::exit(2);
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage("--jobs needs a thread count >= 1"),
+                };
             }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) if !path.is_empty() => json_path = Some(path.clone()),
+                    _ => usage("--json needs an output path"),
+                }
+            }
+            "all" => {
+                for fig in FIGURES {
+                    if !which.contains(&fig) {
+                        which.push(fig);
+                    }
+                }
+            }
+            f => match FIGURES.iter().find(|x| **x == f) {
+                Some(fig) if !which.contains(fig) => which.push(fig),
+                Some(_) => {}
+                None => usage(&format!("unknown argument `{f}`")),
+            },
         }
         i += 1;
     }
     if which.is_empty() {
-        which.extend(["fig3", "fig4", "fig5", "fig6", "fig7", "gat"]);
+        which.extend(FIGURES);
     }
-    which.dedup();
 
     let specs: Vec<_> = spec::all()
         .into_iter()
@@ -56,58 +93,66 @@ fn main() {
         std::process::exit(2);
     }
 
-    eprintln!("building {} benchmarks (both compile modes)...", specs.len());
-    let prepared: Vec<Prepared> = specs.iter().map(Prepared::new).collect();
+    let sel = Selection {
+        fig3: which.contains(&"fig3"),
+        fig4: which.contains(&"fig4"),
+        fig5: which.contains(&"fig5"),
+        fig6: which.contains(&"fig6"),
+        fig7: which.contains(&"fig7"),
+        gat: which.contains(&"gat"),
+    };
 
-    for w in which {
-        match w {
-            "fig3" => {
-                let rows: Vec<_> = prepared
-                    .iter()
-                    .map(|p| (p.spec.name.to_string(), figures::fig3(p)))
-                    .collect();
-                println!("{}", render::fig3(&rows));
-            }
-            "fig4" => {
-                let rows: Vec<_> = prepared
-                    .iter()
-                    .map(|p| (p.spec.name.to_string(), figures::fig4(p)))
-                    .collect();
-                println!("{}", render::fig4(&rows));
-            }
-            "fig5" => {
-                let rows: Vec<_> = prepared
-                    .iter()
-                    .map(|p| (p.spec.name.to_string(), figures::fig5(p)))
-                    .collect();
-                println!("{}", render::fig5(&rows));
-            }
-            "fig6" => {
-                eprintln!("fig6: simulating 8 variants per benchmark...");
-                let rows: Vec<_> = prepared
-                    .iter()
-                    .map(|p| {
-                        eprintln!("  {}", p.spec.name);
-                        (p.spec.name.to_string(), figures::fig6(p))
-                    })
-                    .collect();
-                println!("{}", render::fig6(&rows));
-            }
-            "fig7" => {
-                let rows: Vec<_> = prepared
-                    .iter()
-                    .map(|p| (p.spec.name.to_string(), figures::fig7(p)))
-                    .collect();
-                println!("{}", render::fig7(&rows));
-            }
-            "gat" => {
-                let rows: Vec<_> = prepared
-                    .iter()
-                    .map(|p| (p.spec.name.to_string(), figures::gat(p)))
-                    .collect();
-                println!("{}", render::gat(&rows));
-            }
+    eprintln!(
+        "building {} benchmarks (both compile modes, {jobs} jobs)...",
+        specs.len()
+    );
+    let prepared: Vec<Prepared> = parallel_map(jobs, &specs, Prepared::new);
+
+    if sel.fig6 {
+        eprintln!("fig6: simulating 8 variants per benchmark...");
+    }
+    // Figure 7 measures pipeline wall-clock, so it runs sequentially after
+    // the parallel pass — concurrent workers would contend and inflate it.
+    let par_sel = Selection { fig7: false, ..sel };
+    let mut rows = parallel_map(jobs, &prepared, |p| figures::measure(p, par_sel));
+    if sel.fig7 {
+        for (r, p) in rows.iter_mut().zip(&prepared) {
+            r.fig7 = Some(figures::fig7(p));
+        }
+    }
+
+    for w in &which {
+        // Collect each figure's `(name, row)` pairs in spec order.
+        macro_rules! rows_of {
+            ($field:ident) => {
+                rows.iter()
+                    .filter_map(|r| r.$field.map(|x| (r.name.clone(), x)))
+                    .collect::<Vec<_>>()
+            };
+        }
+        match *w {
+            "fig3" => println!("{}", render::fig3(&rows_of!(fig3))),
+            "fig4" => println!("{}", render::fig4(&rows_of!(fig4))),
+            "fig5" => println!("{}", render::fig5(&rows_of!(fig5))),
+            "fig6" => println!("{}", render::fig6(&rows_of!(fig6))),
+            "fig7" => println!("{}", render::fig7(&rows_of!(fig7))),
+            "gat" => println!("{}", render::gat(&rows_of!(gat))),
             _ => unreachable!(),
         }
+    }
+
+    if let Some(path) = json_path {
+        let report = json::report(
+            &rows,
+            quick,
+            jobs,
+            t_start.elapsed().as_secs_f64(),
+            phase::totals(),
+        );
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }

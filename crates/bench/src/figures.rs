@@ -4,23 +4,66 @@
 //! paper plots and returns the rows its figure reports. The `reproduce`
 //! binary renders them as text tables; `EXPERIMENTS.md` records a captured
 //! run against the paper's numbers.
+//!
+//! [`Prepared`] memoizes the expensive middle of the harness: each
+//! `(CompileMode, OmLevel)` OM pipeline result is computed exactly once per
+//! benchmark (behind a [`OnceLock`] grid), so fig3/fig4/fig5/fig6 and the
+//! GAT table share one `optimize_and_link` run per configuration instead of
+//! each re-running it. The standard-link image is cached the same way. All
+//! caches are interior and thread-safe: the harness measures many benchmarks
+//! concurrently with shared references. Figure 7 is the deliberate
+//! exception — it times fresh pipeline runs, so it bypasses every cache.
 
-use om_core::{optimize_and_link, OmLevel, OmStats};
-use om_linker::Linker;
+use om_core::{optimize_and_link, OmLevel, OmOutput, OmStats};
+use om_linker::{link_modules, Image, LayoutOpts};
 use om_sim::{run_timed, TimingStats};
 use om_workloads::build::{build, BuiltBenchmark, CompileMode};
 use om_workloads::gen::BenchSpec;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Simulator instruction budget per run.
 pub const SIM_LIMIT: u64 = 2_000_000_000;
 
+/// Cumulative per-phase wall time, summed across worker threads (so with
+/// `--jobs N` the totals can exceed elapsed time — they are CPU-style
+/// accounting, which is exactly what a speedup comparison wants).
+pub mod phase {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    static BUILD: AtomicU64 = AtomicU64::new(0);
+    static OM: AtomicU64 = AtomicU64::new(0);
+    static SIM: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn add_build(d: Duration) {
+        BUILD.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn add_om(d: Duration) {
+        OM.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn add_sim(d: Duration) {
+        SIM.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// `(build, om, sim)` totals in seconds since process start.
+    pub fn totals() -> (f64, f64, f64) {
+        let s = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 * 1e-9;
+        (s(&BUILD), s(&OM), s(&SIM))
+    }
+}
+
 /// A fully-built benchmark in both compile modes (compiled once, measured
-/// many times).
+/// many times), with memoized per-configuration pipeline results.
 pub struct Prepared {
     pub spec: BenchSpec,
     pub each: BuiltBenchmark,
     pub all: BuiltBenchmark,
+    /// OM results, indexed `[mode.index()][level.index()]`, computed on
+    /// first use.
+    om: [[OnceLock<OmOutput>; OmLevel::ALL.len()]; CompileMode::ALL.len()],
+    /// Standard-link images per mode, computed on first use.
+    std_image: [OnceLock<Image>; CompileMode::ALL.len()],
 }
 
 impl Prepared {
@@ -30,10 +73,16 @@ impl Prepared {
     ///
     /// Panics if the generated program fails to compile (a toolchain bug).
     pub fn new(spec: &BenchSpec) -> Prepared {
+        let t0 = Instant::now();
+        let each = build(spec, CompileMode::Each).expect("compile-each build");
+        let all = build(spec, CompileMode::All).expect("compile-all build");
+        phase::add_build(t0.elapsed());
         Prepared {
             spec: *spec,
-            each: build(spec, CompileMode::Each).expect("compile-each build"),
-            all: build(spec, CompileMode::All).expect("compile-all build"),
+            each,
+            all,
+            om: Default::default(),
+            std_image: Default::default(),
         }
     }
 
@@ -44,16 +93,45 @@ impl Prepared {
         }
     }
 
+    /// The OM pipeline result for `(mode, level)`, running it on first use
+    /// and returning the cached output thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link failure.
+    pub fn om(&self, mode: CompileMode, level: OmLevel) -> &OmOutput {
+        self.om[mode.index()][level.index()].get_or_init(|| {
+            let b = self.built(mode);
+            let t0 = Instant::now();
+            let out = optimize_and_link(&b.objects, &b.libs, level)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+            phase::add_om(t0.elapsed());
+            out
+        })
+    }
+
     /// Runs OM at `level` on `mode`'s objects, returning its statistics.
     ///
     /// # Panics
     ///
     /// Panics on link failure.
     pub fn om_stats(&self, mode: CompileMode, level: OmLevel) -> OmStats {
-        let b = self.built(mode);
-        optimize_and_link(b.objects.clone(), &b.libs, level)
-            .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()))
-            .stats
+        self.om(mode, level).stats
+    }
+
+    /// The standard (non-optimizing) link of `mode`, cached after the first
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link failure.
+    pub fn std_image(&self, mode: CompileMode) -> &Image {
+        self.std_image[mode.index()].get_or_init(|| {
+            let b = self.built(mode);
+            link_modules(&b.objects, &b.libs, &LayoutOpts::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", self.spec.name))
+                .0
+        })
     }
 
     /// Simulates `mode` under the standard link and returns `(result, timing)`.
@@ -62,16 +140,11 @@ impl Prepared {
     ///
     /// Panics on link or execution failure.
     pub fn run_standard(&self, mode: CompileMode) -> (i64, TimingStats) {
-        let b = self.built(mode);
-        let mut linker = Linker::new();
-        for o in b.objects.clone() {
-            linker = linker.object(o);
-        }
-        for l in b.libs.clone() {
-            linker = linker.library(l.clone());
-        }
-        let (image, _) = linker.link().unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
-        let (r, t) = run_timed(&image, SIM_LIMIT).unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
+        let image = self.std_image(mode);
+        let t0 = Instant::now();
+        let (r, t) =
+            run_timed(image, SIM_LIMIT).unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
+        phase::add_sim(t0.elapsed());
         (r.result, t)
     }
 
@@ -81,11 +154,11 @@ impl Prepared {
     ///
     /// Panics on link or execution failure.
     pub fn run_om(&self, mode: CompileMode, level: OmLevel) -> (i64, TimingStats) {
-        let b = self.built(mode);
-        let out = optimize_and_link(b.objects.clone(), &b.libs, level)
-            .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+        let out = self.om(mode, level);
+        let t0 = Instant::now();
         let (r, t) = run_timed(&out.image, SIM_LIMIT)
             .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+        phase::add_sim(t0.elapsed());
         (r.result, t)
     }
 }
@@ -103,11 +176,18 @@ pub struct Fig3Row {
 
 /// Measures Figure 3 for one prepared benchmark.
 pub fn fig3(p: &Prepared) -> Fig3Row {
+    // Modes × the transforming static levels, from the shared tables.
+    let mut v = [[(0.0, 0.0); 2]; 2];
+    for mode in CompileMode::ALL {
+        for (li, level) in OmLevel::ALL[1..3].iter().enumerate() {
+            v[mode.index()][li] = p.om_stats(mode, *level).addr_load_fractions();
+        }
+    }
     Fig3Row {
-        each_simple: p.om_stats(CompileMode::Each, OmLevel::Simple).addr_load_fractions(),
-        each_full: p.om_stats(CompileMode::Each, OmLevel::Full).addr_load_fractions(),
-        all_simple: p.om_stats(CompileMode::All, OmLevel::Simple).addr_load_fractions(),
-        all_full: p.om_stats(CompileMode::All, OmLevel::Full).addr_load_fractions(),
+        each_simple: v[0][0],
+        each_full: v[0][1],
+        all_simple: v[1][0],
+        all_full: v[1][1],
     }
 }
 
@@ -125,11 +205,11 @@ pub struct Fig4Row {
 pub fn fig4(p: &Prepared) -> Fig4Row {
     let mut pv = [[0.0; 3]; 2];
     let mut gp = [[0.0; 3]; 2];
-    for (mi, mode) in [CompileMode::Each, CompileMode::All].into_iter().enumerate() {
-        for (li, level) in [OmLevel::None, OmLevel::Simple, OmLevel::Full].into_iter().enumerate() {
-            let s = p.om_stats(mode, level);
-            pv[mi][li] = s.pv_fraction_after();
-            gp[mi][li] = s.gp_reset_fraction_after();
+    for mode in CompileMode::ALL {
+        for (li, level) in OmLevel::ALL[..3].iter().enumerate() {
+            let s = p.om_stats(mode, *level);
+            pv[mode.index()][li] = s.pv_fraction_after();
+            gp[mode.index()][li] = s.gp_reset_fraction_after();
         }
     }
     Fig4Row { pv, gp_reset: gp }
@@ -147,11 +227,17 @@ pub struct Fig5Row {
 
 /// Measures Figure 5 for one prepared benchmark.
 pub fn fig5(p: &Prepared) -> Fig5Row {
+    let mut v = [[0.0; 2]; 2];
+    for mode in CompileMode::ALL {
+        for (li, level) in OmLevel::ALL[1..3].iter().enumerate() {
+            v[mode.index()][li] = p.om_stats(mode, *level).inst_fraction_removed();
+        }
+    }
     Fig5Row {
-        each_simple: p.om_stats(CompileMode::Each, OmLevel::Simple).inst_fraction_removed(),
-        each_full: p.om_stats(CompileMode::Each, OmLevel::Full).inst_fraction_removed(),
-        all_simple: p.om_stats(CompileMode::All, OmLevel::Simple).inst_fraction_removed(),
-        all_full: p.om_stats(CompileMode::All, OmLevel::Full).inst_fraction_removed(),
+        each_simple: v[0][0],
+        each_full: v[0][1],
+        all_simple: v[1][0],
+        all_full: v[1][1],
     }
 }
 
@@ -176,14 +262,12 @@ pub struct Fig6Row {
 pub fn fig6(p: &Prepared) -> Fig6Row {
     let mut improvement = [[0.0; 3]; 2];
     let mut base_cycles = [0u64; 2];
-    for (mi, mode) in [CompileMode::Each, CompileMode::All].into_iter().enumerate() {
+    for mode in CompileMode::ALL {
+        let mi = mode.index();
         let (expect, base) = p.run_standard(mode);
         base_cycles[mi] = base.cycles;
-        for (li, level) in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched]
-            .into_iter()
-            .enumerate()
-        {
-            let (r, t) = p.run_om(mode, level);
+        for (li, level) in OmLevel::ALL[1..].iter().enumerate() {
+            let (r, t) = p.run_om(mode, *level);
             assert_eq!(r, expect, "{} {} {}", p.spec.name, mode.name(), level.name());
             improvement[mi][li] = (base.cycles as f64 / t.cycles as f64 - 1.0) * 100.0;
         }
@@ -203,57 +287,43 @@ pub struct Fig7Row {
     pub om_full_sched: f64,
 }
 
-/// Measures Figure 7 for one benchmark spec (compiles inside the timed
-/// regions exactly as the paper's table does).
+/// Measures Figure 7 for one benchmark spec. Every timed region runs the
+/// real pipeline fresh, exactly as the paper's table does — the memoized
+/// results in [`Prepared`] are deliberately not consulted.
 pub fn fig7(p: &Prepared) -> Fig7Row {
-    let time = |f: &mut dyn FnMut()| {
+    let standard_link = {
+        let b = &p.each;
         let t0 = Instant::now();
-        f();
+        let _ = link_modules(&b.objects, &b.libs, &LayoutOpts::default())
+            .expect("standard link");
         t0.elapsed().as_secs_f64()
     };
-
-    let standard_link = time(&mut || {
-        let b = &p.each;
-        let mut linker = Linker::new();
-        for o in b.objects.clone() {
-            linker = linker.object(o);
-        }
-        for l in b.libs.clone() {
-            linker = linker.library(l);
-        }
-        let _ = linker.link().expect("standard link");
-    });
 
     // The paper's "interproc build": full recompilation of all sources with
     // interprocedural optimization, then a standard link.
-    let interproc_build = time(&mut || {
-        let b = build(&p.spec, CompileMode::All).expect("compile-all");
-        let mut linker = Linker::new();
-        for o in b.objects {
-            linker = linker.object(o);
-        }
-        for l in b.libs {
-            linker = linker.library(l);
-        }
-        let _ = linker.link().expect("link");
-    });
-
-    let om = |level: OmLevel| {
-        let b = &p.each;
-        let objects = b.objects.clone();
-        let libs = b.libs.clone();
+    let interproc_build = {
         let t0 = Instant::now();
-        let _ = optimize_and_link(objects, &libs, level).expect("om link");
+        let b = build(&p.spec, CompileMode::All).expect("compile-all");
+        let _ = link_modules(&b.objects, &b.libs, &LayoutOpts::default()).expect("link");
         t0.elapsed().as_secs_f64()
     };
 
+    let om = |level: OmLevel| {
+        let b = &p.each;
+        let t0 = Instant::now();
+        let _ = optimize_and_link(&b.objects, &b.libs, level).expect("om link");
+        t0.elapsed().as_secs_f64()
+    };
+
+    // The four levels in OmLevel::ALL order.
+    let [om_none, om_simple, om_full, om_full_sched] = OmLevel::ALL.map(om);
     Fig7Row {
         standard_link,
         interproc_build,
-        om_none: om(OmLevel::None),
-        om_simple: om(OmLevel::Simple),
-        om_full: om(OmLevel::Full),
-        om_full_sched: om(OmLevel::FullSched),
+        om_none,
+        om_simple,
+        om_full,
+        om_full_sched,
     }
 }
 
@@ -276,5 +346,53 @@ pub fn gat(p: &Prepared) -> GatRow {
         each_after: e.gat_slots_after,
         all_before: a.gat_slots_before,
         all_after: a.gat_slots_after,
+    }
+}
+
+/// Which artifacts a harness invocation should measure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Selection {
+    pub fig3: bool,
+    pub fig4: bool,
+    pub fig5: bool,
+    pub fig6: bool,
+    pub fig7: bool,
+    pub gat: bool,
+}
+
+impl Selection {
+    /// Everything the `all` command reproduces.
+    pub fn all() -> Selection {
+        Selection { fig3: true, fig4: true, fig5: true, fig6: true, fig7: true, gat: true }
+    }
+}
+
+/// Every selected figure's rows for one benchmark — the unit of parallel
+/// measurement in the harness.
+#[derive(Debug, Clone)]
+pub struct BenchRows {
+    pub name: String,
+    pub fig3: Option<Fig3Row>,
+    pub fig4: Option<Fig4Row>,
+    pub fig5: Option<Fig5Row>,
+    pub fig6: Option<Fig6Row>,
+    pub fig7: Option<Fig7Row>,
+    pub gat: Option<GatRow>,
+}
+
+/// Measures all selected figures for one benchmark. Thanks to the memoized
+/// pipeline, overlapping figures (3/4/5/6/gat) share OM runs.
+pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
+    BenchRows {
+        name: p.spec.name.to_string(),
+        fig3: sel.fig3.then(|| fig3(p)),
+        fig4: sel.fig4.then(|| fig4(p)),
+        fig5: sel.fig5.then(|| fig5(p)),
+        fig6: sel.fig6.then(|| {
+            eprintln!("  fig6: {}", p.spec.name);
+            fig6(p)
+        }),
+        fig7: sel.fig7.then(|| fig7(p)),
+        gat: sel.gat.then(|| gat(p)),
     }
 }

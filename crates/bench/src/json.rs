@@ -1,0 +1,198 @@
+//! Machine-readable output for `reproduce --json PATH` (hand-rolled; the
+//! registry is offline, so no serde).
+//!
+//! The layout is deliberately line-oriented: every figure row is one line
+//! containing `"fig"` and `"bench"` keys, so `scripts/bench.sh` can diff
+//! runs with `grep`/`diff` alone. Timings (`fig7` rows, `wall_seconds`,
+//! `phase_seconds`) are wall-clock and therefore excluded from such diffs;
+//! every other row is bit-deterministic.
+
+use crate::figures::BenchRows;
+use std::fmt::Write as _;
+
+fn f(v: f64) -> String {
+    // Shortest representation that round-trips; always valid JSON for the
+    // finite values the figures produce.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One figure row as a single JSON-object line.
+fn push_row(out: &mut String, fig: &str, bench: &str, fields: &[(impl AsRef<str>, String)]) {
+    let _ = write!(out, "    {{\"fig\":\"{fig}\",\"bench\":\"{bench}\"");
+    for (k, v) in fields {
+        let _ = write!(out, ",\"{}\":{v}", k.as_ref());
+    }
+    out.push_str("}");
+}
+
+fn rows_for(out: &mut String, r: &BenchRows) -> usize {
+    let mut n = 0;
+    let mut sep = |out: &mut String| {
+        if n > 0 {
+            out.push_str(",\n");
+        }
+        n += 1;
+    };
+    if let Some(x) = r.fig3 {
+        sep(out);
+        push_row(
+            out,
+            "fig3",
+            &r.name,
+            &[
+                ("each_simple_cv", f(x.each_simple.0)),
+                ("each_simple_nu", f(x.each_simple.1)),
+                ("each_full_cv", f(x.each_full.0)),
+                ("each_full_nu", f(x.each_full.1)),
+                ("all_simple_cv", f(x.all_simple.0)),
+                ("all_simple_nu", f(x.all_simple.1)),
+                ("all_full_cv", f(x.all_full.0)),
+                ("all_full_nu", f(x.all_full.1)),
+            ],
+        );
+    }
+    if let Some(x) = r.fig4 {
+        sep(out);
+        let mut fields = Vec::new();
+        for (mi, m) in ["each", "all"].iter().enumerate() {
+            for (li, l) in ["noom", "simple", "full"].iter().enumerate() {
+                fields.push((format!("pv_{m}_{l}"), f(x.pv[mi][li])));
+                fields.push((format!("gp_{m}_{l}"), f(x.gp_reset[mi][li])));
+            }
+        }
+        push_row(out, "fig4", &r.name, &fields);
+    }
+    if let Some(x) = r.fig5 {
+        sep(out);
+        push_row(
+            out,
+            "fig5",
+            &r.name,
+            &[
+                ("each_simple", f(x.each_simple)),
+                ("each_full", f(x.each_full)),
+                ("all_simple", f(x.all_simple)),
+                ("all_full", f(x.all_full)),
+            ],
+        );
+    }
+    if let Some(x) = r.fig6 {
+        sep(out);
+        let mut fields = Vec::new();
+        for (mi, m) in ["each", "all"].iter().enumerate() {
+            for (li, l) in ["simple", "full", "sched"].iter().enumerate() {
+                fields.push((format!("imp_{m}_{l}"), f(x.improvement[mi][li])));
+            }
+            fields.push((format!("base_cycles_{m}"), x.base_cycles[mi].to_string()));
+        }
+        push_row(out, "fig6", &r.name, &fields);
+    }
+    if let Some(x) = r.fig7 {
+        sep(out);
+        push_row(
+            out,
+            "fig7",
+            &r.name,
+            &[
+                ("standard_link", f(x.standard_link)),
+                ("interproc_build", f(x.interproc_build)),
+                ("om_none", f(x.om_none)),
+                ("om_simple", f(x.om_simple)),
+                ("om_full", f(x.om_full)),
+                ("om_full_sched", f(x.om_full_sched)),
+            ],
+        );
+    }
+    if let Some(x) = r.gat {
+        sep(out);
+        push_row(
+            out,
+            "gat",
+            &r.name,
+            &[
+                ("each_before", x.each_before.to_string()),
+                ("each_after", x.each_after.to_string()),
+                ("all_before", x.all_before.to_string()),
+                ("all_after", x.all_after.to_string()),
+            ],
+        );
+    }
+    n
+}
+
+/// Renders the whole report. `wall_seconds` is the harness's elapsed time;
+/// `phase_seconds` comes from [`crate::figures::phase::totals`].
+pub fn report(
+    rows: &[BenchRows],
+    quick: bool,
+    jobs: usize,
+    wall_seconds: f64,
+    phase_seconds: (f64, f64, f64),
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"om-reproduce/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"benchmarks\": {},", rows.len());
+    let _ = writeln!(out, "  \"wall_seconds\": {},", f(wall_seconds));
+    let (b, o, s) = phase_seconds;
+    let _ = writeln!(
+        out,
+        "  \"phase_seconds\": {{\"build\": {}, \"om\": {}, \"sim\": {}}},",
+        f(b),
+        f(o),
+        f(s)
+    );
+    out.push_str("  \"rows\": [\n");
+    let mut first = true;
+    for r in rows {
+        let mut chunk = String::new();
+        if rows_for(&mut chunk, r) > 0 {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&chunk);
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Fig5Row, GatRow};
+
+    #[test]
+    fn rows_are_single_grepable_lines() {
+        let rows = vec![BenchRows {
+            name: "compress".into(),
+            fig3: None,
+            fig4: None,
+            fig5: Some(Fig5Row {
+                each_simple: 0.0625,
+                each_full: 0.125,
+                all_simple: 0.05,
+                all_full: 0.1,
+            }),
+            fig6: None,
+            fig7: None,
+            gat: Some(GatRow { each_before: 40, each_after: 5, all_before: 38, all_after: 4 }),
+        }];
+        let s = report(&rows, true, 4, 1.5, (0.5, 0.25, 0.75));
+        let bench_lines: Vec<&str> = s.lines().filter(|l| l.contains("\"bench\"")).collect();
+        assert_eq!(bench_lines.len(), 2, "{s}");
+        assert!(bench_lines[0].contains("\"fig\":\"fig5\""), "{s}");
+        assert!(bench_lines[1].contains("\"each_before\":40"), "{s}");
+        assert!(s.contains("\"phase_seconds\""), "{s}");
+        // Valid-enough JSON: balanced braces/brackets on the skeleton.
+        assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");
+        assert_eq!(s.matches('[').count(), s.matches(']').count(), "{s}");
+    }
+}

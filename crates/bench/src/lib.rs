@@ -8,11 +8,22 @@
 //! ```
 //!
 //! or individual artifacts (`fig3 fig4 fig5 fig6 fig7 gat`), optionally with
-//! `--quick` (fewer loop iterations) and `--bench <name>` filters. Criterion
-//! benches (`cargo bench -p om-bench`) time the build pipeline itself — the
-//! paper's Figure 7 comparison — under a measurement harness.
+//! `--quick` (fewer loop iterations), `--bench <name>` filters, `--jobs N`
+//! (worker threads; defaults to the machine's parallelism), and
+//! `--json PATH` (machine-readable rows plus timings). Micro-benches
+//! (`cargo bench -p om-bench`) time the build pipeline itself — the paper's
+//! Figure 7 comparison — under a measurement harness.
+//!
+//! The harness is parallel and duplicate-work-free: benchmarks build and
+//! measure on a scoped worker pool ([`par::parallel_map`]), and
+//! [`figures::Prepared`] memoizes each `(mode, level)` pipeline run so
+//! overlapping figures share it. Output is collected in spec order, so it is
+//! byte-identical at any `--jobs` width.
 
 pub mod figures;
+pub mod json;
+pub mod par;
 pub mod render;
 
 pub use figures::{fig3, fig4, fig5, fig6, fig7, gat, Prepared};
+pub use par::{default_jobs, parallel_map};

@@ -1,0 +1,73 @@
+//! A minimal scoped worker pool (std-only — the registry is offline, so no
+//! rayon). Work is handed out by an atomic cursor and results are reordered
+//! to input order, so the output of a parallel run is byte-identical to the
+//! sequential one regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism (the `--jobs` default).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads and returns the
+/// results in input order. `jobs <= 1` runs inline with no threads at all,
+/// so `--jobs 1` is exactly the sequential harness.
+///
+/// # Panics
+///
+/// A panic in `f` propagates to the caller once the pool joins (no result
+/// is silently dropped).
+pub fn parallel_map<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let v = f(item);
+                done.lock().unwrap().push((i, v));
+            });
+        }
+    });
+    let mut v = done.into_inner().unwrap();
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(parallel_map(jobs, &items, |x| x * x), expect, "jobs={jobs}");
+        }
+        assert!(parallel_map(4, &Vec::<u64>::new(), |x| *x).is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(4, &[1, 2, 3, 4, 5, 6], |x| {
+                assert_ne!(*x, 5, "boom");
+                *x
+            })
+        });
+        assert!(r.is_err());
+    }
+}

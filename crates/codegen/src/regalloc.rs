@@ -238,7 +238,10 @@ pub fn allocate(f: &IrFunction) -> Allocation {
             .filter(|k| k.class == class)
             .map(|&k| (k, start[&k], end[&k]))
             .collect();
-        intervals.sort_by_key(|&(_, s, _)| s);
+        // Tie-break equal starts by vreg id: `start` is a HashMap, and a
+        // start-only sort would leak its iteration order into the final
+        // register assignment (and from there into cycle counts).
+        intervals.sort_by_key(|&(k, s, _)| (s, k.id));
 
         // active: (end, key, reg)
         let mut active: Vec<(i64, Key, u8)> = Vec::new();

@@ -87,7 +87,7 @@ fn main() {
         exit(2);
     }
 
-    match optimize_and_link_with(objects, &libs, level, &options) {
+    match optimize_and_link_with(&objects, &libs, level, &options) {
         Ok(output) => {
             std::fs::write(&out, output.image.to_bytes()).unwrap();
             eprintln!(

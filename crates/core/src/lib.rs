@@ -30,7 +30,7 @@
 //!        return hits; }",
 //!     &CompileOpts::o2(),
 //! )?;
-//! let out = optimize_and_link(vec![crt0::module()?, obj], &[], OmLevel::Full)?;
+//! let out = optimize_and_link(&[crt0::module()?, obj], &[], OmLevel::Full)?;
 //! assert!(out.stats.addr_loads_nullified > 0);
 //! assert_eq!(om_sim::run_image(&out.image, 100_000)?.result, 45);
 //! # Ok(())
@@ -45,6 +45,9 @@ pub mod simple;
 pub mod stats;
 pub mod sym;
 
-pub use pipeline::{optimize_and_link, optimize_and_link_with, CallBook, OmLevel, OmOptions, OmOutput};
+pub use pipeline::{
+    optimize_and_link, optimize_and_link_with, pipeline_runs, CallBook, OmLevel, OmOptions,
+    OmOutput,
+};
 pub use stats::OmStats;
 pub use sym::{GlobalRef, OmError, SymProgram};

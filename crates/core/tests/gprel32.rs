@@ -29,7 +29,7 @@ fn objects() -> Vec<om_objfile::Module> {
 
 #[test]
 fn constant_index_data_accesses_convert_to_ldah_pairs() {
-    let out = optimize_and_link(objects(), &[], OmLevel::Simple).unwrap();
+    let out = optimize_and_link(&objects(), &[],OmLevel::Simple).unwrap();
     assert!(
         out.stats.addr_loads_converted > 0,
         "far .data with rewritable uses must be converted: {:?}",
@@ -54,14 +54,14 @@ fn constant_index_data_accesses_convert_to_ldah_pairs() {
 #[test]
 fn all_levels_agree_on_far_data() {
     let baseline = run_image(
-        &optimize_and_link(objects(), &[], OmLevel::None).unwrap().image,
+        &optimize_and_link(&objects(), &[],OmLevel::None).unwrap().image,
         100_000,
     )
     .unwrap()
     .result;
     assert_eq!(baseline, 3333);
     for level in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-        let out = optimize_and_link(objects(), &[], level).unwrap();
+        let out = optimize_and_link(&objects(), &[],level).unwrap();
         let r = run_image(&out.image, 100_000).unwrap();
         assert_eq!(r.result, baseline, "{}", level.name());
     }
@@ -80,7 +80,7 @@ fn mixed_near_and_far_objects_split_between_paths() {
         crt0::module().unwrap(),
         compile_source("m", src, &CompileOpts::o2()).unwrap(),
     ];
-    let out = optimize_and_link(objects, &[], OmLevel::Simple).unwrap();
+    let out = optimize_and_link(&objects, &[], OmLevel::Simple).unwrap();
     assert!(out.stats.addr_loads_nullified > 0, "{:?}", out.stats);
     assert!(out.stats.addr_loads_converted > 0, "{:?}", out.stats);
     assert_eq!(run_image(&out.image, 100_000).unwrap().result, 25);

@@ -20,12 +20,12 @@ fn every_address_load_use_is_marked() {
         let s = spec::quick(&spec::by_name(name).unwrap());
         let built = build(&s, CompileMode::Each).unwrap();
         let mut objects = built.objects.clone();
-        for lib in &built.libs {
+        for lib in built.libs.iter() {
             for m in lib.members() {
                 objects.push(m.clone());
             }
         }
-        let modules = select_modules(objects, &[]).unwrap();
+        let modules = select_modules(&objects, &[]).unwrap();
         let symtab = build_symbol_table(&modules).unwrap();
         let program = translate(&modules, &symtab).unwrap();
 

@@ -66,7 +66,7 @@ fn check(sources: &[(&str, &str)]) -> (om_core::OmStats, om_core::OmStats) {
 
     let mut out = Vec::new();
     for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-        let o = optimize_and_link(objs.clone(), &[], level)
+        let o = optimize_and_link(&objs, &[], level)
             .unwrap_or_else(|e| panic!("{}: {e}", level.name()));
         let r = run_image(&o.image, STEPS)
             .unwrap_or_else(|e| panic!("{}: run: {e}", level.name()));

@@ -44,12 +44,12 @@ fn preempt(names: &[&str]) -> OmOptions {
 
 #[test]
 fn preemptible_calls_keep_their_bookkeeping() {
-    let baseline = optimize_and_link(objects(), &[], OmLevel::Full).unwrap();
+    let baseline = optimize_and_link(&objects(), &[],OmLevel::Full).unwrap();
     // Without preemption every direct call loses PV load and GP reset.
     assert_eq!(baseline.stats.calls_pv_after, 0);
 
     let guarded =
-        optimize_and_link_with(objects(), &[], OmLevel::Full, &preempt(&["plugin"])).unwrap();
+        optimize_and_link_with(&objects(), &[],OmLevel::Full, &preempt(&["plugin"])).unwrap();
     // The calls to `plugin` (one per loop body — statically one site) keep
     // their PV load and GP reset; `local_fn`'s sites are still optimized.
     assert!(guarded.stats.calls_pv_after > 0, "{:?}", guarded.stats);
@@ -64,9 +64,9 @@ fn preemptible_calls_keep_their_bookkeeping() {
 
 #[test]
 fn preemptible_data_keeps_its_gat_slot() {
-    let baseline = optimize_and_link(objects(), &[], OmLevel::Full).unwrap();
+    let baseline = optimize_and_link(&objects(), &[],OmLevel::Full).unwrap();
     let guarded = optimize_and_link_with(
-        objects(),
+        &objects(),
         &[],
         OmLevel::Full,
         &preempt(&["shared_counter"]),
@@ -88,12 +88,12 @@ fn preemptible_data_keeps_its_gat_slot() {
 fn results_are_unchanged_in_a_closed_world() {
     // With no actual dynamic linker in the loop, the statically-linked
     // definition is used either way: semantics must match exactly.
-    let expected = run_image(&optimize_and_link(objects(), &[], OmLevel::None).unwrap().image, 1_000_000)
+    let expected = run_image(&optimize_and_link(&objects(), &[],OmLevel::None).unwrap().image, 1_000_000)
         .unwrap()
         .result;
     for level in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
         let out = optimize_and_link_with(
-            objects(),
+            &objects(),
             &[],
             level,
             &preempt(&["plugin", "shared_counter"]),
@@ -107,7 +107,7 @@ fn results_are_unchanged_in_a_closed_world() {
 #[test]
 fn preemptible_procedures_keep_their_prologues() {
     let out =
-        optimize_and_link_with(objects(), &[], OmLevel::Full, &preempt(&["plugin"])).unwrap();
+        optimize_and_link_with(&objects(), &[],OmLevel::Full, &preempt(&["plugin"])).unwrap();
     // plugin's entry must still start with its GPDISP pair: disassemble it.
     let addr = out.image.symbols["plugin"];
     let text = &out.image.segments[0];

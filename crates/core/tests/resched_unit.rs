@@ -13,7 +13,7 @@ fn main_proc(src: &str) -> om_core::sym::SymProc {
         crt0::module().unwrap(),
         compile_source("m", src, &CompileOpts::o2()).unwrap(),
     ];
-    let modules = select_modules(objects, &[]).unwrap();
+    let modules = select_modules(&objects, &[]).unwrap();
     let symtab = build_symbol_table(&modules).unwrap();
     let program = translate(&modules, &symtab).unwrap();
     program.modules[1]
@@ -119,7 +119,7 @@ fn alignment_pads_backward_targets_to_quadwords() {
         )
         .unwrap(),
     ];
-    let out = optimize_and_link(objects, &[], OmLevel::FullSched).unwrap();
+    let out = optimize_and_link(&objects, &[], OmLevel::FullSched).unwrap();
     // Find every backward branch in the final image and check its target is
     // 8-byte aligned.
     let text = &out.image.segments[0];

@@ -15,7 +15,7 @@ fn symbolic(sources: &[(&str, &str)]) -> (SymProgram, Vec<Module>) {
     for (n, s) in sources {
         objects.push(compile_source(n, s, &opts).unwrap());
     }
-    let modules = select_modules(objects, &[]).unwrap();
+    let modules = select_modules(&objects, &[]).unwrap();
     let symtab = build_symbol_table(&modules).unwrap();
     let program = translate(&modules, &symtab).unwrap();
     (program, modules)

@@ -94,17 +94,21 @@ impl Linker {
     /// Returns [`LinkError`] for unresolved or duplicate symbols, malformed
     /// modules, or out-of-range relocations.
     pub fn link(self) -> Result<(Image, LinkStats), LinkError> {
-        link_modules(self.objects, &self.libs, &self.opts)
+        link_modules(&self.objects, &self.libs, &self.opts)
     }
 }
 
 /// Links `objects` (+ library members) with the given layout policy.
 ///
+/// Borrows its inputs — callers that link the same build repeatedly (the
+/// evaluation harness, OM at several levels) pay no per-link clone of their
+/// module list.
+///
 /// # Errors
 ///
 /// See [`Linker::link`].
 pub fn link_modules(
-    objects: Vec<Module>,
+    objects: &[Module],
     libs: &[Archive],
     opts: &LayoutOpts,
 ) -> Result<(Image, LinkStats), LinkError> {

@@ -10,26 +10,30 @@ use std::collections::HashMap;
 /// in archive order — the `ld` discipline that brings pre-compiled library
 /// code into the program.
 ///
+/// Borrows its inputs: callers keep their modules and can run many links
+/// (standard and OM, at every level) off one build without cloning up
+/// front. The one copy into the returned selection happens here.
+///
 /// # Errors
 ///
 /// Returns [`LinkError::Object`] if any module fails validation.
 pub fn select_modules(
-    objects: Vec<Module>,
+    objects: &[Module],
     libs: &[Archive],
 ) -> Result<Vec<Module>, LinkError> {
-    for m in &objects {
+    for m in objects {
         m.validate()?;
     }
     let mut defined: HashMap<&str, ()> = HashMap::new();
     let mut undefined: Vec<String> = Vec::new();
-    for m in &objects {
+    for m in objects {
         for s in &m.symbols {
             if s.is_defined() && s.vis == Visibility::Exported {
                 defined.insert(&s.name, ());
             }
         }
     }
-    for m in &objects {
+    for m in objects {
         for s in &m.symbols {
             if !s.is_defined() && !defined.contains_key(s.name.as_str()) {
                 undefined.push(s.name.clone());
@@ -37,7 +41,7 @@ pub fn select_modules(
         }
     }
 
-    let mut out = objects.clone();
+    let mut out = objects.to_vec();
     for lib in libs {
         let picked = lib.select(undefined.iter().cloned());
         // Members may satisfy each other; recompute what is still undefined
@@ -152,7 +156,7 @@ mod tests {
         lib.add(module("a", &["alpha"], &["beta"])).unwrap();
         lib.add(module("b", &["beta"], &[])).unwrap();
         lib.add(module("c", &["gamma"], &[])).unwrap();
-        let mods = select_modules(vec![module("main", &["main"], &["alpha"])], &[lib]).unwrap();
+        let mods = select_modules(&[module("main", &["main"], &["alpha"])], &[lib]).unwrap();
         let names: Vec<&str> = mods.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, ["main", "a", "b"]);
     }

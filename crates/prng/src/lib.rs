@@ -1,0 +1,134 @@
+//! A minimal, deterministic pseudo-random number generator.
+//!
+//! The workspace builds in offline environments, so it cannot pull the
+//! `rand` crate from a registry. Everything that needs randomness here needs
+//! *reproducible* randomness — workload generation and property tests — so a
+//! small, well-known generator is sufficient and preferable: the stream is
+//! part of the repo's deterministic behavior, not an implementation detail
+//! of an external crate.
+//!
+//! The core is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64
+//! exactly as the reference implementation recommends. The API mirrors the
+//! subset of `rand` the workspace used (`seed_from_u64`, `gen_range`,
+//! `gen_bool`) so call sites read the same.
+
+/// Deterministic generator with a 256-bit state (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full state from one `u64` via SplitMix64, as the xoshiro
+    /// authors specify for small seeds.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The raw 64-bit output function.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the usual float-in-[0,1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Integer types `gen_range` can sample uniformly.
+pub trait UniformInt: Copy {
+    fn sample(rng: &mut StdRng, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(rng: &mut StdRng, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                // Width fits in u64 for every supported type (i128/u128 are
+                // deliberately unsupported). Modulo bias is ~2^-64 per draw
+                // for the small widths used here — irrelevant for workload
+                // generation and tests, where determinism is what matters.
+                let width = (range.end as i128 - range.start as i128) as u64;
+                let off = rng.next_u64() % width;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+
+        for _ in 0..1000 {
+            let v = rng.gen_range(-8i32..8);
+            assert!((-8..8).contains(&v));
+        }
+        let v = rng.gen_range(5u64..6);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+        assert!(!StdRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).gen_bool(1.0));
+    }
+}

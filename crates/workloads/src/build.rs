@@ -16,6 +16,7 @@ use crate::stdlib::STDLIB_SOURCES;
 use om_codegen::{compile_all_sources, compile_source, crt0, CodegenError, CompileOpts};
 use om_objfile::{Archive, Module, ObjError};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// How the user sources are compiled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +28,18 @@ pub enum CompileMode {
 }
 
 impl CompileMode {
+    /// Both modes, in the order the paper's figures list them. The single
+    /// source of truth for mode iteration in the evaluation harness.
+    pub const ALL: [CompileMode; 2] = [CompileMode::Each, CompileMode::All];
+
+    /// This mode's position in [`CompileMode::ALL`] (dense, for tables).
+    pub fn index(self) -> usize {
+        match self {
+            CompileMode::Each => 0,
+            CompileMode::All => 1,
+        }
+    }
+
     /// Paper terminology.
     pub fn name(self) -> &'static str {
         match self {
@@ -41,6 +54,9 @@ impl CompileMode {
 pub enum BuildError {
     Codegen(CodegenError),
     Object(ObjError),
+    /// The process-wide shared stdlib failed to compile (stringified because
+    /// the cached result is cloned to every caller).
+    Stdlib(String),
 }
 
 impl fmt::Display for BuildError {
@@ -48,6 +64,7 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Codegen(e) => write!(f, "{e}"),
             BuildError::Object(e) => write!(f, "{e}"),
+            BuildError::Stdlib(e) => write!(f, "stdlib: {e}"),
         }
     }
 }
@@ -67,37 +84,59 @@ impl From<ObjError> for BuildError {
 }
 
 /// A benchmark ready to link: crt0 + user objects, plus the library archive.
+///
+/// The library slice is shared (`Arc`): every benchmark in the process
+/// points at the same pre-compiled stdlib, mirroring how a real system
+/// installs one `libc.a` that every link reads. Consumers borrow it
+/// (`&b.libs` coerces to `&[Archive]`).
 #[derive(Debug, Clone)]
 pub struct BuiltBenchmark {
     pub name: String,
     pub mode: CompileMode,
     /// crt0 followed by the user objects.
     pub objects: Vec<Module>,
-    /// The pre-compiled standard library.
-    pub libs: Vec<Archive>,
+    /// The pre-compiled standard library, shared process-wide.
+    pub libs: Arc<[Archive]>,
 }
 
-impl BuiltBenchmark {
-    /// All link inputs: explicit objects plus selected library members are
-    /// resolved by the consumer (standard linker or OM).
-    pub fn objects_cloned(&self) -> Vec<Module> {
-        self.objects.clone()
-    }
-}
+/// The shared stdlib: compiled at most once per process, then handed out by
+/// `Arc`. Errors are stringified so the cached result clones.
+static STDLIB: OnceLock<Result<Arc<[Archive]>, String>> = OnceLock::new();
 
-/// Compiles the standard library into its archive (`-O2`, compiled "long
-/// before" the application).
-///
-/// # Errors
-///
-/// Propagates compile errors (the library sources are fixed, so this only
-/// fails if the toolchain regresses).
-pub fn stdlib_archive() -> Result<Archive, BuildError> {
+fn compile_stdlib() -> Result<Archive, BuildError> {
     let mut ar = Archive::new("libstd");
     for (name, src) in STDLIB_SOURCES {
         ar.add(compile_source(name, src, &CompileOpts::o2())?)?;
     }
     Ok(ar)
+}
+
+/// The standard library archive, compiled once per process and shared by
+/// every [`build`] (`-O2`, compiled "long before" the application).
+///
+/// # Errors
+///
+/// Propagates compile errors (the library sources are fixed, so this only
+/// fails if the toolchain regresses).
+pub fn stdlib_libs() -> Result<Arc<[Archive]>, BuildError> {
+    STDLIB
+        .get_or_init(|| {
+            compile_stdlib()
+                .map(|ar| Arc::from(vec![ar]))
+                .map_err(|e| e.to_string())
+        })
+        .clone()
+        .map_err(BuildError::Stdlib)
+}
+
+/// An owned copy of the stdlib archive, for tools that write it to disk.
+/// Shares the process-wide compilation with [`stdlib_libs`].
+///
+/// # Errors
+///
+/// See [`stdlib_libs`].
+pub fn stdlib_archive() -> Result<Archive, BuildError> {
+    Ok(stdlib_libs()?[0].clone())
 }
 
 /// Generates a benchmark's user sources (library excluded).
@@ -136,7 +175,7 @@ pub fn build(spec: &BenchSpec, mode: CompileMode) -> Result<BuiltBenchmark, Buil
         name: spec.name.to_string(),
         mode,
         objects,
-        libs: vec![stdlib_archive()?],
+        libs: stdlib_libs()?,
     })
 }
 

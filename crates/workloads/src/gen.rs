@@ -15,8 +15,7 @@
 //! generated program terminates with a well-defined checksum that all build
 //! variants must reproduce bit-for-bit.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use om_prng::StdRng;
 use std::fmt::Write as _;
 
 /// Structural parameters of one synthetic benchmark.

@@ -27,5 +27,5 @@ pub mod gen;
 pub mod spec;
 pub mod stdlib;
 
-pub use build::{stdlib_archive, BuildError, BuiltBenchmark, CompileMode};
+pub use build::{stdlib_archive, stdlib_libs, BuildError, BuiltBenchmark, CompileMode};
 pub use gen::BenchSpec;

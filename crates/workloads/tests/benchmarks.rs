@@ -59,8 +59,8 @@ fn sampled_benchmarks_agree_across_all_build_variants() {
             for o in built.objects.clone() {
                 linker = linker.object(o);
             }
-            for l in built.libs.clone() {
-                linker = linker.library(l);
+            for l in built.libs.iter() {
+                linker = linker.library(l.clone());
             }
             let (image, _) = linker.link().unwrap_or_else(|e| panic!("{name}: {e}"));
             let r = run_image(&image, SIM_STEPS).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -68,7 +68,7 @@ fn sampled_benchmarks_agree_across_all_build_variants() {
 
             // All OM levels.
             for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-                let out = optimize_and_link(built.objects.clone(), &built.libs, level)
+                let out = optimize_and_link(&built.objects, &built.libs, level)
                     .unwrap_or_else(|e| panic!("{name} {} {}: {e}", mode.name(), level.name()));
                 let r = run_image(&out.image, SIM_STEPS)
                     .unwrap_or_else(|e| panic!("{name} {} {}: {e}", mode.name(), level.name()));
@@ -90,7 +90,7 @@ fn workload_shapes_exercise_the_paper_features() {
     // optimization the paper measures.
     let s = spec::quick(&spec::by_name("li").unwrap());
     let built = build(&s, CompileMode::Each).unwrap();
-    let out = optimize_and_link(built.objects.clone(), &built.libs, OmLevel::Full).unwrap();
+    let out = optimize_and_link(&built.objects, &built.libs, OmLevel::Full).unwrap();
     let st = out.stats;
     assert!(st.addr_loads_total > 50, "{st:?}");
     assert!(st.calls_total > 20, "{st:?}");

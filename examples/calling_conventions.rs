@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let objects = vec![crt0::module()?, compile_source("m", SRC, &opts)?];
 
     for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full] {
-        let out = optimize_and_link(objects.clone(), &[], level)?;
+        let out = optimize_and_link(&objects, &[], level)?;
         println!("==================== {} ====================", level.name());
         dump_proc(&out.image, "callee", 10);
         println!();

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for level in [OmLevel::Simple, OmLevel::Full] {
-        let out = optimize_and_link(objects.clone(), &[], level)?;
+        let out = optimize_and_link(&objects, &[], level)?;
         println!(
             "{:10}: GAT {} -> {} slots ({:.0}% of original)",
             level.name(),
@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let out = optimize_and_link(objects, &[], OmLevel::Full)?;
+    let out = optimize_and_link(&objects, &[], OmLevel::Full)?;
     let r = om_repro::sim::run_image(&out.image, 100_000)?;
     println!("\nprogram result (unchanged by all of this): {}", r.result);
     Ok(())

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  result = {}, {} instructions retired", base_run.result, base_run.insts);
 
     // The same objects through OM-full.
-    let out = optimize_and_link(objects, &[], OmLevel::Full)?;
+    let out = optimize_and_link(&objects, &[], OmLevel::Full)?;
     let om_run = run_image(&out.image, 1_000_000)?;
     assert_eq!(om_run.result, base_run.result, "OM must preserve semantics");
 

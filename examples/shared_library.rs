@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         objects.push(compile_source(n, s, &opts)?);
     }
 
-    let closed = optimize_and_link(objects.clone(), &[], OmLevel::Full)?;
+    let closed = optimize_and_link(&objects, &[], OmLevel::Full)?;
     println!("fully static link (everything optimizable):");
     println!(
         "  PV loads {} -> {}, GP resets {} -> {}, JSR->BSR {}",
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         preemptible: vec!["codec".to_string()],
         ..OmOptions::default()
     };
-    let dynamic = optimize_and_link_with(objects, &[], OmLevel::Full, &options)?;
+    let dynamic = optimize_and_link_with(&objects, &[], OmLevel::Full, &options)?;
     println!("\nwith `codec` marked preemptible (a dynamic-library export):");
     println!(
         "  PV loads {} -> {}, GP resets {} -> {}, JSR->BSR {}",

@@ -34,8 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for o in built.objects.clone() {
             linker = linker.object(o);
         }
-        for l in built.libs.clone() {
-            linker = linker.library(l);
+        for l in built.libs.iter() {
+            linker = linker.library(l.clone());
         }
         let (image, _) = linker.link()?;
         let (base_run, base) = run_timed(&image, 2_000_000_000)?;
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         for level in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-            let out = optimize_and_link(built.objects.clone(), &built.libs, level)?;
+            let out = optimize_and_link(&built.objects, &built.libs, level)?;
             let (r, t) = run_timed(&out.image, 2_000_000_000)?;
             assert_eq!(r.result, base_run.result, "semantics preserved");
             println!(

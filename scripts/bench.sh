@@ -1,0 +1,36 @@
+#!/bin/sh
+# Reproduces the paper's figures in --quick mode and diffs the deterministic
+# rows against the committed baseline (BENCH_baseline.json). Timing rows
+# (fig7) and the wall-clock/phase fields are wall-clock noise and excluded.
+#
+# Usage: scripts/bench.sh [--update]
+#   --update   rewrite BENCH_baseline.json from the current run
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=BENCH_baseline.json
+out=$(mktemp)
+json=$(mktemp)
+trap 'rm -f "$out" "$json"' EXIT
+
+cargo run --release -p om-bench --bin reproduce -- all --quick --json "$json"
+
+if [ "${1:-}" = "--update" ]; then
+    cp "$json" "$baseline"
+    echo "updated $baseline"
+    exit 0
+fi
+
+# Deterministic rows only: every figure row carries a "bench" key; fig7 rows
+# are build-time measurements.
+filter() {
+    grep '"bench"' "$1" | grep -v '"fig":"fig7"'
+}
+
+filter "$json" >"$out"
+if ! filter "$baseline" | diff -u - "$out"; then
+    echo "FAIL: figure rows drifted from $baseline" >&2
+    echo "(run scripts/bench.sh --update if the change is intended)" >&2
+    exit 1
+fi
+echo "OK: figure rows match $baseline"

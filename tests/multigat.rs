@@ -95,7 +95,7 @@ fn standard_link_splits_groups_and_still_runs() {
 #[test]
 fn om_simple_keeps_cross_group_gp_resets() {
     let objects = build_program();
-    let out = optimize_and_link(objects, &[], OmLevel::Simple).unwrap();
+    let out = optimize_and_link(&objects, &[], OmLevel::Simple).unwrap();
     // The call from main's group to far's group must keep its GP reset; the
     // intra-group calls (crt0 → main) lose theirs.
     assert!(
@@ -109,7 +109,7 @@ fn om_simple_keeps_cross_group_gp_resets() {
 #[test]
 fn om_full_collapses_dead_slots_back_to_one_group() {
     let objects = build_program();
-    let out = optimize_and_link(objects, &[], OmLevel::Full).unwrap();
+    let out = optimize_and_link(&objects, &[], OmLevel::Full).unwrap();
     // Padding slots are never referenced, so GAT reduction removes them,
     // the program fits one group again, and no GP reset survives.
     assert_eq!(out.stats.calls_gp_reset_after, 0, "{:?}", out.stats);

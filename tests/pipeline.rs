@@ -110,7 +110,7 @@ fn om_none_is_a_faithful_passthrough() {
     let (std_image, _) = linker.link().unwrap();
     let std_run = run_image(&std_image, 10_000_000).unwrap();
 
-    let out = optimize_and_link(objects, &[], OmLevel::None).unwrap();
+    let out = optimize_and_link(&objects, &[], OmLevel::None).unwrap();
     let om_run = run_image(&out.image, 10_000_000).unwrap();
     assert_eq!(om_run.result, std_run.result);
     assert_eq!(om_run.insts, std_run.insts, "pass-through must not change code");
@@ -127,7 +127,7 @@ fn every_om_level_matches_the_interpreter() {
     }
     let expected = interp_result();
     for level in [OmLevel::None, OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-        let out = optimize_and_link(objects.clone(), &[], level).unwrap();
+        let out = optimize_and_link(&objects, &[], level).unwrap();
         let r = run_image(&out.image, 10_000_000).unwrap();
         assert_eq!(r.result, expected, "{}", level.name());
     }
@@ -140,8 +140,8 @@ fn om_outputs_are_deterministic() {
     for (n, s) in PROGRAM {
         objects.push(compile_source(n, s, &opts).unwrap());
     }
-    let a = optimize_and_link(objects.clone(), &[], OmLevel::Full).unwrap();
-    let b = optimize_and_link(objects, &[], OmLevel::Full).unwrap();
+    let a = optimize_and_link(&objects, &[], OmLevel::Full).unwrap();
+    let b = optimize_and_link(&objects, &[], OmLevel::Full).unwrap();
     assert_eq!(a.image.segments[0].bytes, b.image.segments[0].bytes);
     assert_eq!(a.image.segments[1].bytes, b.image.segments[1].bytes);
     assert_eq!(a.stats, b.stats);

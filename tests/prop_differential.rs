@@ -3,76 +3,76 @@
 //! every OM level. This is the broadest net for codegen, linker, and OM bugs
 //! — any semantics-changing transformation shows up as a checksum mismatch
 //! (or a simulator fault) on some generated program.
+//!
+//! Seeded randomized cases over `om_prng` (the workspace builds offline, so
+//! no proptest); a failing case prints the full generated source.
 
+use om_prng::StdRng;
 use om_repro::codegen::{compile_source, crt0, CompileOpts};
 use om_repro::core::{optimize_and_link, OmLevel};
 use om_repro::minic::interp::run_sources;
 use om_repro::sim::run_image;
-use proptest::prelude::*;
 
 /// A random integer expression over `a`, `b`, `acc`, globals `g0..g3`, and
 /// array `tab` (length 16).
-fn expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("acc".to_string()),
-        (0u8..4).prop_map(|g| format!("g{g}")),
-        (-64i64..64).prop_map(|k| format!("{k}")),
-        any::<u8>().prop_map(|k| format!("tab[{}]", k % 16)),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), 0u8..10).prop_map(|(l, r, op)| {
-                let op = match op {
-                    0 => "+",
-                    1 => "-",
-                    2 => "*",
-                    3 => "&",
-                    4 => "|",
-                    5 => "^",
-                    6 => "/",
-                    7 => "%",
-                    8 => "<",
-                    _ => "==",
-                };
-                format!("({l} {op} {r})")
-            }),
-            (inner.clone(), 1u8..8).prop_map(|(l, s)| format!("({l} >> {s})")),
-            (inner.clone(), 1u8..8).prop_map(|(l, s)| format!("({l} << {s})")),
-            inner.clone().prop_map(|l| format!("(-{l})")),
-            inner.clone().prop_map(|l| format!("(!{l})")),
-            inner.clone().prop_map(|l| format!("helper({l}, b)")),
-        ]
-    })
-    .boxed()
+fn expr(rng: &mut StdRng, depth: u32) -> String {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0u8..6) {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            2 => "acc".to_string(),
+            3 => format!("g{}", rng.gen_range(0u8..4)),
+            4 => format!("{}", rng.gen_range(-64i64..64)),
+            _ => format!("tab[{}]", rng.gen_range(0u8..16)),
+        };
+    }
+    match rng.gen_range(0u8..6) {
+        0 => {
+            let l = expr(rng, depth - 1);
+            let r = expr(rng, depth - 1);
+            let op = match rng.gen_range(0u8..10) {
+                0 => "+",
+                1 => "-",
+                2 => "*",
+                3 => "&",
+                4 => "|",
+                5 => "^",
+                6 => "/",
+                7 => "%",
+                8 => "<",
+                _ => "==",
+            };
+            format!("({l} {op} {r})")
+        }
+        1 => format!("({} >> {})", expr(rng, depth - 1), rng.gen_range(1u8..8)),
+        2 => format!("({} << {})", expr(rng, depth - 1), rng.gen_range(1u8..8)),
+        3 => format!("(-{})", expr(rng, depth - 1)),
+        4 => format!("(!{})", expr(rng, depth - 1)),
+        _ => format!("helper({}, b)", expr(rng, depth - 1)),
+    }
 }
 
 /// A random statement body for `work`.
-fn body() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        prop_oneof![
-            expr(2).prop_map(|e| format!("acc = {e};")),
-            (0u8..4, expr(2)).prop_map(|(g, e)| format!("g{g} = {e};")),
-            (any::<u8>(), expr(2)).prop_map(|(i, e)| format!("tab[{}] = {e};", i % 16)),
-            (expr(1), expr(1)).prop_map(|(c, e)| {
-                format!("if ({c}) {{ acc = acc + {e}; }} else {{ acc = acc - 1; }}")
-            }),
-            expr(1).prop_map(|e| format!(
-                "{{ }} int z = {e}; while (z > 0) {{ acc = acc + z; z = z - 7; }}"
-            )),
-        ],
-        1..8,
-    )
-    .prop_map(|stmts| {
-        // The placeholder `{ }` block is not valid mini-C; strip it (it only
-        // existed to make the while-loop arm a single string).
-        stmts
-            .into_iter()
-            .map(|s| s.replace("{ } ", ""))
-            .collect::<Vec<_>>()
-            .join("\n  ")
-    })
+fn body(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1usize..8);
+    let mut stmts = Vec::with_capacity(n);
+    for _ in 0..n {
+        stmts.push(match rng.gen_range(0u8..5) {
+            0 => format!("acc = {};", expr(rng, 2)),
+            1 => format!("g{} = {};", rng.gen_range(0u8..4), expr(rng, 2)),
+            2 => format!("tab[{}] = {};", rng.gen_range(0u8..16), expr(rng, 2)),
+            3 => format!(
+                "if ({}) {{ acc = acc + {}; }} else {{ acc = acc - 1; }}",
+                expr(rng, 1),
+                expr(rng, 1)
+            ),
+            _ => format!(
+                "int z = {}; while (z > 0) {{ acc = acc + z; z = z - 7; }}",
+                expr(rng, 1)
+            ),
+        });
+    }
+    stmts.join("\n  ")
 }
 
 fn program(body: &str) -> String {
@@ -124,22 +124,17 @@ fn program(body: &str) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_agree_across_all_om_levels(b in body()) {
-        let src = program(&b);
+#[test]
+fn random_programs_agree_across_all_om_levels() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_E2E4);
+    for case in 0..48 {
+        let src = program(&body(&mut rng));
         // The interpreter defines the expected behavior. Programs that fail
         // to terminate in budget are discarded (the while-loop arm can
         // occasionally run long on huge values).
         let expected = match run_sources(&[("t", &src)], 3_000_000) {
             Ok(v) => v,
-            Err(e) if e.contains("step limit") => return Ok(()),
+            Err(e) if e.contains("step limit") => continue,
             Err(e) => panic!("interp rejected generated program: {e}\n{src}"),
         };
 
@@ -148,11 +143,11 @@ proptest! {
         let objects = vec![crt0::module().unwrap(), obj];
 
         for level in [OmLevel::Simple, OmLevel::Full, OmLevel::FullSched] {
-            let out = optimize_and_link(objects.clone(), &[], level)
+            let out = optimize_and_link(&objects, &[], level)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{src}", level.name()));
             let r = run_image(&out.image, 30_000_000)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{src}", level.name()));
-            prop_assert_eq!(r.result, expected, "{} on\n{}", level.name(), src);
+            assert_eq!(r.result, expected, "case {case}: {} on\n{}", level.name(), src);
         }
     }
 }
