@@ -1,0 +1,130 @@
+//! `omfuzz` — differential fuzzing of the OM pipeline.
+//!
+//! ```text
+//! omfuzz [--seeds N] [--start S] [--out DIR] [--modules N] [--procs N] [--stmts N]
+//! ```
+//!
+//! Each seed generates a random mini-C program, runs the mini-C interpreter
+//! as the reference, then builds and simulates all 8 `(compile mode × OM
+//! level)` variants with the linked-image verifier enabled, comparing
+//! checksums. Failures are shrunk (modules → procedures → statements) and a
+//! minimized repro file is written to `--out` (default `target/omfuzz`).
+//! Exits 1 if any seed failed.
+
+use om_bench::fuzz::{check, generate, shrink, write_repro, FuzzConfig, Outcome};
+use std::process::exit;
+
+fn main() {
+    let mut seeds: u64 = 100;
+    let mut start: u64 = 0;
+    let mut out_dir = String::from("target/omfuzz");
+    let mut cfg = FuzzConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = parse_num(args.get(i), "--seeds");
+            }
+            "--start" => {
+                i += 1;
+                start = parse_num(args.get(i), "--start");
+            }
+            "--modules" => {
+                i += 1;
+                cfg.max_modules = parse_num(args.get(i), "--modules") as usize;
+            }
+            "--procs" => {
+                i += 1;
+                cfg.max_procs_per_module = parse_num(args.get(i), "--procs") as usize;
+            }
+            "--stmts" => {
+                i += 1;
+                cfg.max_stmts = parse_num(args.get(i), "--stmts") as usize;
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("omfuzz: --out needs a directory");
+                    exit(2);
+                });
+            }
+            other => {
+                eprintln!("omfuzz: unknown option {other}");
+                eprintln!(
+                    "usage: omfuzz [--seeds N] [--start S] [--out DIR] \
+                     [--modules N] [--procs N] [--stmts N]"
+                );
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut passed = 0u64;
+    let mut skipped = 0u64;
+    let mut failures: Vec<u64> = Vec::new();
+    for seed in start..start + seeds {
+        let prog = generate(seed, &cfg);
+        match check(&prog) {
+            Outcome::Pass => passed += 1,
+            Outcome::Skip(why) => {
+                skipped += 1;
+                eprintln!("omfuzz: seed {seed}: skipped ({why})");
+            }
+            outcome @ Outcome::Fail { .. } => {
+                eprintln!("omfuzz: seed {seed}: FAILED, shrinking…");
+                let small = shrink(prog, 300);
+                let final_outcome = check(&small);
+                let report = match &final_outcome {
+                    Outcome::Fail { .. } => write_repro(&small, &final_outcome),
+                    // Shrinking should preserve failure, but never lose the
+                    // original if it somehow does not.
+                    _ => write_repro(&small, &outcome),
+                };
+                if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                    eprintln!("omfuzz: cannot create {out_dir}: {e}");
+                } else {
+                    let path = format!("{out_dir}/repro_{seed}.mc");
+                    match std::fs::write(&path, report) {
+                        Ok(()) => eprintln!("omfuzz: seed {seed}: repro written to {path}"),
+                        Err(e) => eprintln!("omfuzz: cannot write {path}: {e}"),
+                    }
+                }
+                if let Outcome::Fail { mismatches, .. } = &outcome {
+                    for m in mismatches {
+                        eprintln!("omfuzz:   {}: {}", m.variant, m.detail);
+                    }
+                }
+                failures.push(seed);
+            }
+        }
+        if (seed - start + 1) % 25 == 0 {
+            eprintln!(
+                "omfuzz: {}/{} seeds ({} passed, {} skipped, {} failed)",
+                seed - start + 1,
+                seeds,
+                passed,
+                skipped,
+                failures.len()
+            );
+        }
+    }
+
+    eprintln!(
+        "omfuzz: done — {passed} passed, {skipped} skipped, {} failed of {seeds} seeds",
+        failures.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("omfuzz: failing seeds: {failures:?}");
+        exit(1);
+    }
+}
+
+fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("omfuzz: {flag} needs a number");
+        exit(2);
+    })
+}

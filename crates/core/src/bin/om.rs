@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats]
-//!    [--preemptible SYMBOL]... FILE.o... [LIB.a...]
+//!    [--verify] [--preemptible SYMBOL]... FILE.o... [LIB.a...]
 //! ```
 //!
 //! `--preemptible` marks a symbol as dynamically bindable: every reference
 //! to it stays fully conservative (the paper's shared-library semantics).
+//! `--verify` re-checks the transformed program and the linked image
+//! against OM's structural invariants (branch bounds, GAT reach, GPDISP
+//! pairing, LITUSE links, segment geometry, stats accounting) and fails
+//! the link on any violation.
 //!
 //! Replaces the standard link step: translates the whole program to symbolic
 //! form, applies the requested level of address-calculation optimization,
@@ -51,6 +55,7 @@ fn main() {
                 };
             }
             "--stats" => stats = true,
+            "--verify" => options.verify = true,
             "--preemptible" => {
                 i += 1;
                 options.preemptible.push(args.get(i).cloned().unwrap_or_else(|| {
@@ -83,7 +88,7 @@ fn main() {
         i += 1;
     }
     if objects.is_empty() {
-        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] FILE.o... [LIB.a...]");
+        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] [--verify] FILE.o... [LIB.a...]");
         exit(2);
     }
 
@@ -96,6 +101,9 @@ fn main() {
                 level.name(),
                 output.link.text_bytes
             );
+            if let Some(report) = &output.verify {
+                eprintln!("om: verify OK ({} checks)", report.checks);
+            }
             if stats {
                 let s = output.stats;
                 let (cv, nu) = s.addr_load_fractions();

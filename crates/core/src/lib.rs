@@ -44,6 +44,7 @@ pub mod resched;
 pub mod simple;
 pub mod stats;
 pub mod sym;
+pub mod verify;
 
 pub use pipeline::{
     optimize_and_link, optimize_and_link_with, pipeline_runs, CallBook, OmLevel, OmOptions,
@@ -51,3 +52,4 @@ pub use pipeline::{
 };
 pub use stats::OmStats;
 pub use sym::{GlobalRef, OmError, SymProgram};
+pub use verify::VerifyReport;

@@ -87,6 +87,11 @@ pub struct OmOptions {
     /// conservative: no JSR→BSR, no PV-load or GP-reset removal, no prologue
     /// deletion, no address-load conversion.
     pub preemptible: Vec<String>,
+    /// Verify the transformed program and linked image against the
+    /// structural invariants of [`crate::verify`]; any violation fails the
+    /// link with [`OmError::Verify`]. The passing report is returned in
+    /// [`OmOutput::verify`].
+    pub verify: bool,
 }
 
 impl Default for OmOptions {
@@ -96,6 +101,7 @@ impl Default for OmOptions {
             align_backward_targets: true,
             max_rounds: 8,
             preemptible: Vec::new(),
+            verify: false,
         }
     }
 }
@@ -106,6 +112,9 @@ pub struct OmOutput {
     pub image: Image,
     pub stats: OmStats,
     pub link: LinkStats,
+    /// The verification report, when [`OmOptions::verify`] was requested
+    /// (always passing: violations abort the link instead).
+    pub verify: Option<crate::verify::VerifyReport>,
 }
 
 /// Counts the pre-transformation statistics.
@@ -202,12 +211,27 @@ pub fn optimize_and_link_with(
         om_linker::layout(&final_modules, &st, &LayoutOpts { sort_commons: options.sort_commons })?
             .gat_slots
     };
-    let (image, link) = link_modules(
-        &final_modules,
-        &[],
-        &LayoutOpts { sort_commons: level != OmLevel::None && options.sort_commons },
-    )
-    .map_err(OmError::Link)?;
+    let link_opts = LayoutOpts { sort_commons: level != OmLevel::None && options.sort_commons };
+    let (image, link) = link_modules(&final_modules, &[], &link_opts).map_err(OmError::Link)?;
 
-    Ok(OmOutput { image, stats, link })
+    let verify = if options.verify {
+        let mut report = crate::verify::verify_sym(&program);
+        report.merge(crate::verify::verify_stats(&program, &stats));
+        // Recompute the layout exactly as the final link saw it so the
+        // image can be checked against an independent address calculation.
+        let st = build_symbol_table(&final_modules)?;
+        let lay = om_linker::layout(&final_modules, &st, &link_opts)?;
+        report.merge(crate::verify::verify_linked(&final_modules, &st, &lay, &image));
+        if !report.is_ok() {
+            return Err(OmError::Verify {
+                checks: report.checks,
+                violations: report.violations,
+            });
+        }
+        Some(report)
+    } else {
+        None
+    };
+
+    Ok(OmOutput { image, stats, link, verify })
 }

@@ -25,6 +25,9 @@ pub enum OmError {
     /// A relocation that contradicts the code it annotates.
     BadReloc { module: String, what: String },
     Link(om_linker::LinkError),
+    /// Post-link verification found invariant violations (see
+    /// [`crate::verify`]).
+    Verify { checks: usize, violations: Vec<String> },
 }
 
 impl fmt::Display for OmError {
@@ -35,6 +38,16 @@ impl fmt::Display for OmError {
             }
             OmError::BadReloc { module, what } => write!(f, "bad relocation in `{module}`: {what}"),
             OmError::Link(e) => write!(f, "{e}"),
+            OmError::Verify { checks, violations } => {
+                write!(f, "verification failed: {} of {checks} checks", violations.len())?;
+                for v in violations.iter().take(8) {
+                    write!(f, "\n  {v}")?;
+                }
+                if violations.len() > 8 {
+                    write!(f, "\n  … and {} more", violations.len() - 8)?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -1,0 +1,643 @@
+//! Whole-program verification of OM's output.
+//!
+//! OM rewrites, deletes, and reorders instructions after the compiler is
+//! done, so a single wrong displacement silently corrupts a binary. This
+//! module proves structural invariants on both the symbolic program (after
+//! transformation, before emission) and the final linked [`Image`] (after
+//! relocation): every branch lands on an instruction boundary inside
+//! `.text`, every `Literal` reloc names a live GAT slot within 16-bit GP
+//! reach and the patched displacement agrees, GPDISP pairs decode to a
+//! matching LDAH/LDA register pair whose halves sum to `GP - anchor`,
+//! LITUSE hints point at real uses of the loaded register, segments do not
+//! overlap, and the transformation statistics balance (kept + deleted ==
+//! original + inserted).
+//!
+//! Run it with `om --verify`, [`OmOptions::verify`], or directly via
+//! [`verify_sym`] / [`verify_stats`] / [`verify_linked`].
+//!
+//! [`OmOptions::verify`]: crate::pipeline::OmOptions
+
+use crate::stats::OmStats;
+use crate::sym::{SAnchor, SMark, SymProgram};
+use om_alpha::{decode, Effects, Inst, MemOp, Reg};
+use om_linker::{sym_addr, Image, ProgramLayout, SymbolTable};
+use om_objfile::{Module, RelocKind, SecId, DATA_BASE};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Outcome of a verification pass: how many individual invariants were
+/// checked and which ones failed.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Individual invariant checks performed.
+    pub checks: usize,
+    /// Human-readable description of every violated invariant.
+    pub violations: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(msg());
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.checks += 1;
+        self.violations.push(msg);
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} checks, {} violations", self.checks, self.violations.len())?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the symbolic program's internal consistency after transformation:
+/// no dangling instruction ids, LITUSE links pointing at surviving `Literal`
+/// loads, GPDISP halves paired with each other, and marks agreeing with the
+/// instructions they annotate.
+pub fn verify_sym(program: &SymProgram) -> VerifyReport {
+    let mut r = VerifyReport::default();
+    for m in &program.modules {
+        for p in &m.procs {
+            let loc = |what: String| format!("{}/{}: {what}", m.source.name, p.name);
+            let ids: HashMap<u32, usize> =
+                p.insts.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+            r.check(ids.len() == p.insts.len(), || loc("duplicate instruction ids".into()));
+            r.check(
+                p.insts.last().is_some_and(|i| i.inst.is_control()),
+                || loc("procedure does not end in a control instruction".into()),
+            );
+            for s in &p.insts {
+                let at = |what: &str| loc(format!("inst {}: {what}", s.id));
+                match &s.mark {
+                    SMark::None => {}
+                    SMark::Literal { .. } => r.check(
+                        matches!(s.inst, Inst::Mem { op: MemOp::Ldq, rb: Reg::GP, .. }),
+                        || at("Literal mark on a non-`ldq rx, d(gp)` instruction"),
+                    ),
+                    SMark::LituseBase { load } => {
+                        r.check(matches!(s.inst, Inst::Mem { .. }), || {
+                            at("LituseBase on a non-memory instruction")
+                        });
+                        check_lituse_load(&mut r, p, &ids, *load, &at);
+                    }
+                    SMark::LituseJsr { load } => {
+                        r.check(matches!(s.inst, Inst::Jmp { .. }), || {
+                            at("LituseJsr on a non-jump instruction")
+                        });
+                        check_lituse_load(&mut r, p, &ids, *load, &at);
+                    }
+                    SMark::LituseAddr { load } => check_lituse_load(&mut r, p, &ids, *load, &at),
+                    SMark::GpdispHi { lo, anchor } => {
+                        r.check(
+                            matches!(s.inst, Inst::Mem { op: MemOp::Ldah, .. }),
+                            || at("GpdispHi on a non-LDAH instruction"),
+                        );
+                        match ids.get(lo) {
+                            Some(&li) => r.check(
+                                matches!(p.insts[li].mark, SMark::GpdispLo { hi } if hi == s.id),
+                                || at("GPDISP low half does not point back at this high half"),
+                            ),
+                            None => r.fail(at("dangling GPDISP low-half id")),
+                        }
+                        if let SAnchor::AfterCall(c) = anchor {
+                            r.check(ids.contains_key(c), || {
+                                at("GPDISP anchored after a deleted call")
+                            });
+                        }
+                    }
+                    SMark::GpdispLo { hi } => {
+                        r.check(
+                            matches!(s.inst, Inst::Mem { op: MemOp::Lda, .. }),
+                            || at("GpdispLo on a non-LDA instruction"),
+                        );
+                        match ids.get(hi) {
+                            Some(&hi_i) => r.check(
+                                matches!(p.insts[hi_i].mark, SMark::GpdispHi { lo, .. } if lo == s.id),
+                                || at("GPDISP high half does not point back at this low half"),
+                            ),
+                            None => r.fail(at("dangling GPDISP high-half id")),
+                        }
+                    }
+                    SMark::BrSym { .. } => r.check(matches!(s.inst, Inst::Br { .. }), || {
+                        at("BrSym mark on a non-branch instruction")
+                    }),
+                    SMark::BrLocal { target } => {
+                        r.check(matches!(s.inst, Inst::Br { .. }), || {
+                            at("BrLocal mark on a non-branch instruction")
+                        });
+                        r.check(ids.contains_key(target), || at("dangling local branch target"));
+                    }
+                    SMark::Gprel { .. } => r.check(
+                        matches!(s.inst, Inst::Mem { rb: Reg::GP, .. }),
+                        || at("Gprel mark on an instruction not based on GP"),
+                    ),
+                    SMark::GprelHi { .. } => r.check(
+                        matches!(s.inst, Inst::Mem { op: MemOp::Ldah, rb: Reg::GP, .. }),
+                        || at("GprelHi mark on a non-`ldah rx, d(gp)` instruction"),
+                    ),
+                    SMark::GprelLo { .. } => r.check(matches!(s.inst, Inst::Mem { .. }), || {
+                        at("GprelLo mark on a non-memory instruction")
+                    }),
+                }
+            }
+        }
+    }
+    r
+}
+
+fn check_lituse_load(
+    r: &mut VerifyReport,
+    p: &crate::sym::SymProc,
+    ids: &HashMap<u32, usize>,
+    load: u32,
+    at: &dyn Fn(&str) -> String,
+) {
+    match ids.get(&load) {
+        Some(&li) => r.check(
+            matches!(p.insts[li].mark, SMark::Literal { .. }),
+            || at("LITUSE link points at an instruction that is not an address load"),
+        ),
+        None => r.fail(at("LITUSE link points at a deleted instruction")),
+    }
+}
+
+/// Checks that the transformation statistics balance against the surviving
+/// program: `kept == original + inserted - deleted`, and every instruction
+/// counted as nullified (plus every inserted UNOP) is actually present as a
+/// no-op.
+pub fn verify_stats(program: &SymProgram, stats: &OmStats) -> VerifyReport {
+    let mut r = VerifyReport::default();
+    let kept = program.inst_count() as i64;
+    let expected =
+        stats.insts_before as i64 + stats.unops_inserted as i64 - stats.insts_deleted as i64;
+    r.check(kept == expected, || {
+        format!(
+            "instruction accounting does not balance: {} kept != {} before + {} inserted - {} deleted",
+            kept, stats.insts_before, stats.unops_inserted, stats.insts_deleted
+        )
+    });
+    let nops = program
+        .modules
+        .iter()
+        .flat_map(|m| m.procs.iter())
+        .flat_map(|p| p.insts.iter())
+        .filter(|s| s.inst.is_nop())
+        .count();
+    r.check(nops >= stats.insts_nullified + stats.unops_inserted, || {
+        format!(
+            "{} no-ops in the program cannot cover {} nullified + {} inserted",
+            nops, stats.insts_nullified, stats.unops_inserted
+        )
+    });
+    r
+}
+
+/// Checks the final linked image against the modules and layout that
+/// produced it: segment geometry, instruction decodability, branch targets,
+/// and — for every relocation — that the patched bits in the image agree
+/// with an independent recomputation from the layout.
+pub fn verify_linked(
+    modules: &[Module],
+    symtab: &SymbolTable,
+    layout: &ProgramLayout,
+    image: &Image,
+) -> VerifyReport {
+    let mut r = VerifyReport::default();
+
+    // Segment geometry: ascending, non-overlapping.
+    for w in image.segments.windows(2) {
+        r.check(w[0].end() <= w[1].base, || {
+            format!(
+                "segments overlap: [{:#x}, {:#x}) and [{:#x}, {:#x})",
+                w[0].base,
+                w[0].end(),
+                w[1].base,
+                w[1].end()
+            )
+        });
+    }
+
+    let t = layout.info.text;
+    r.check(t.size % 4 == 0, || format!("text size {:#x} not a multiple of 4", t.size));
+    r.check(
+        image.entry >= t.base && image.entry < t.base + t.size && image.entry % 4 == 0,
+        || format!("entry {:#x} outside .text or misaligned", image.entry),
+    );
+
+    // Decode the entire text segment once.
+    let Some(text_seg) = image.segments.iter().find(|s| s.contains(t.base)) else {
+        r.fail("no segment maps the text base".into());
+        return r;
+    };
+    // Words between module texts are alignment padding and must be zero;
+    // every covered word must decode.
+    let mut covered = vec![false; (t.size / 4) as usize];
+    for (mi, m) in modules.iter().enumerate() {
+        let start = (layout.bases[mi].text - t.base) / 4;
+        for w in start..start + (m.text.len() as u64 / 4) {
+            if let Some(c) = covered.get_mut(w as usize) {
+                *c = true;
+            }
+        }
+    }
+    let mut insts: Vec<Option<Inst>> = Vec::with_capacity((t.size / 4) as usize);
+    for off in (0..t.size as usize).step_by(4) {
+        let word = u32::from_le_bytes(text_seg.bytes[off..off + 4].try_into().unwrap());
+        if !covered[off / 4] {
+            r.check(word == 0, || {
+                format!("nonzero padding word {word:#010x} at {:#x}", t.base + off as u64)
+            });
+            insts.push(None);
+            continue;
+        }
+        match decode(word) {
+            Ok(i) => insts.push(Some(i)),
+            Err(e) => {
+                insts.push(None);
+                r.fail(format!("undecodable word {word:#010x} at {:#x}: {e}", t.base + off as u64));
+            }
+        }
+    }
+    r.checks += insts.len();
+
+    // Every branch in the image lands on an instruction boundary in .text.
+    for (idx, inst) in insts.iter().enumerate() {
+        if let Some(Inst::Br { disp, .. }) = inst {
+            let target = t.base as i64 + idx as i64 * 4 + 4 + *disp as i64 * 4;
+            r.check(
+                target >= t.base as i64 && target < (t.base + t.size) as i64,
+                || {
+                    format!(
+                        "branch at {:#x} targets {target:#x}, outside .text",
+                        t.base + idx as u64 * 4
+                    )
+                },
+            );
+        }
+    }
+
+    let data_seg = image.segments.iter().find(|s| s.contains(DATA_BASE));
+    let read_u64 = |addr: u64| -> Option<u64> {
+        let s = data_seg?;
+        if !s.contains(addr) || !s.contains(addr + 7) {
+            return None;
+        }
+        let off = (addr - s.base) as usize;
+        Some(u64::from_le_bytes(s.bytes[off..off + 8].try_into().unwrap()))
+    };
+    let inst_at = |text_off: u64| -> Option<&Inst> {
+        insts.get((text_off / 4) as usize).and_then(|i| i.as_ref())
+    };
+
+    for (mi, m) in modules.iter().enumerate() {
+        let b = &layout.bases[mi];
+        let gp = layout.gp_values[layout.group_of_module[mi] as usize] as i64;
+        let m0 = b.text - t.base; // module text offset within the segment
+        r.check(b.text >= t.base && b.text + m.text.len() as u64 <= t.base + t.size, || {
+            format!("module `{}` text outside the .text extent", m.name)
+        });
+        let lit_offsets: HashSet<u64> = m
+            .relocs
+            .iter()
+            .filter(|r| r.sec == SecId::Text && matches!(r.kind, RelocKind::Literal { .. }))
+            .map(|r| r.offset)
+            .collect();
+
+        for rel in &m.relocs {
+            let at = |what: String| format!("{}+{:#x}: {what}", m.name, rel.offset);
+            if rel.sec == SecId::Text {
+                r.check(rel.offset + 4 <= m.text.len() as u64, || {
+                    at("relocation outside module text".into())
+                });
+                if rel.offset + 4 > m.text.len() as u64 {
+                    continue;
+                }
+            }
+            match (rel.sec, &rel.kind) {
+                (SecId::Text, RelocKind::Literal { lita }) => {
+                    let li = *lita as usize;
+                    if li >= m.lita.len() {
+                        r.fail(at(format!("Literal reloc names dead GAT slot {li}")));
+                        continue;
+                    }
+                    let slot = layout.lita_addr[mi][li];
+                    let lx = layout.info.lita;
+                    r.check(slot >= lx.base && slot + 8 <= lx.base + lx.size, || {
+                        at(format!("GAT slot address {slot:#x} outside .lita"))
+                    });
+                    r.check((slot.wrapping_sub(lx.base)) % 8 == 0, || {
+                        at(format!("GAT slot address {slot:#x} not 8-aligned"))
+                    });
+                    let disp = slot as i64 - gp;
+                    r.check(i16::try_from(disp).is_ok(), || {
+                        at(format!("GAT slot {disp} bytes from GP, outside 16-bit reach"))
+                    });
+                    match inst_at(m0 + rel.offset) {
+                        Some(&Inst::Mem { op: MemOp::Ldq, rb, disp: d, .. }) => {
+                            r.check(rb == Reg::GP, || at("address load not based on GP".into()));
+                            r.check(d as i64 == disp, || {
+                                at(format!("address load patched to {d}, expected {disp}"))
+                            });
+                        }
+                        other => r.fail(at(format!("Literal reloc on {other:?}, expected ldq"))),
+                    }
+                    let e = &m.lita[li];
+                    match sym_addr(modules, symtab, layout, mi, e.sym) {
+                        Ok(a) => {
+                            let want = (a as i64 + e.addend) as u64;
+                            r.check(read_u64(slot) == Some(want), || {
+                                at(format!("GAT slot {slot:#x} does not hold {want:#x}"))
+                            });
+                        }
+                        Err(e) => r.fail(at(format!("GAT slot symbol unresolvable: {e}"))),
+                    }
+                }
+                (
+                    SecId::Text,
+                    RelocKind::LituseBase { load_offset }
+                    | RelocKind::LituseJsr { load_offset }
+                    | RelocKind::LituseAddr { load_offset },
+                ) => {
+                    r.check(lit_offsets.contains(load_offset), || {
+                        at(format!("LITUSE names {load_offset:#x}, not an address load"))
+                    });
+                    if rel.offset == *load_offset {
+                        // A self-referential LITUSE_ADDR marks an escaping
+                        // address load (the value leaks into unrewritable
+                        // dataflow); there is no separate use to check.
+                        continue;
+                    }
+                    let load_ra = match inst_at(m0 + load_offset) {
+                        Some(&Inst::Mem { op: MemOp::Ldq, ra, .. }) => ra,
+                        _ => continue, // already reported by the check above
+                    };
+                    let Some(use_inst) = inst_at(m0 + rel.offset) else {
+                        continue; // undecodable word already reported
+                    };
+                    let ok = match rel.kind {
+                        RelocKind::LituseBase { .. } => {
+                            matches!(use_inst, Inst::Mem { rb, .. } if *rb == load_ra)
+                        }
+                        RelocKind::LituseJsr { .. } => {
+                            matches!(use_inst, Inst::Jmp { rb, .. } if *rb == load_ra)
+                        }
+                        _ => Effects::of(use_inst).reads_int(load_ra),
+                    };
+                    r.check(ok, || {
+                        at(format!("LITUSE hint does not use the loaded register {load_ra:?}"))
+                    });
+                }
+                (SecId::Text, RelocKind::Gpdisp { pair_offset, anchor, .. }) => {
+                    let lo_off = rel.offset as i64 + pair_offset;
+                    if lo_off < 0 || lo_off as u64 + 4 > m.text.len() as u64 {
+                        r.fail(at(format!("GPDISP low half at {lo_off:#x} outside module text")));
+                        continue;
+                    }
+                    let hi = inst_at(m0 + rel.offset);
+                    let lo = inst_at(m0 + lo_off as u64);
+                    match (hi, lo) {
+                        (
+                            Some(&Inst::Mem { op: MemOp::Ldah, ra: hra, disp: hd, .. }),
+                            Some(&Inst::Mem { op: MemOp::Lda, ra: lra, rb: lrb, disp: ld }),
+                        ) => {
+                            r.check(hra == lra && lrb == hra, || {
+                                at(format!(
+                                    "GPDISP pair registers disagree: ldah {hra:?} / lda {lra:?}({lrb:?})"
+                                ))
+                            });
+                            r.check(*anchor < m.text.len() as u64 && anchor % 4 == 0, || {
+                                at(format!("GPDISP anchor {anchor:#x} outside module text"))
+                            });
+                            let got = ((hd as i64) << 16) + ld as i64;
+                            let want = gp - (b.text + anchor) as i64;
+                            r.check(got == want, || {
+                                at(format!("GPDISP pair sums to {got}, expected {want}"))
+                            });
+                        }
+                        other => r.fail(at(format!(
+                            "GPDISP pair is {other:?}, expected ldah/lda"
+                        ))),
+                    }
+                }
+                (SecId::Text, RelocKind::BrAddr { sym, addend }) => {
+                    let a = match sym_addr(modules, symtab, layout, mi, *sym) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            r.fail(at(format!("branch target unresolvable: {e}")));
+                            continue;
+                        }
+                    };
+                    let target = a as i64 + addend;
+                    let pc = (b.text + rel.offset) as i64;
+                    let delta = target - (pc + 4);
+                    r.check(delta % 4 == 0, || {
+                        at(format!("branch target {target:#x} not instruction-aligned"))
+                    });
+                    r.check((-(1 << 20)..(1 << 20)).contains(&(delta / 4)), || {
+                        at(format!("branch displacement {} words out of range", delta / 4))
+                    });
+                    r.check(
+                        target >= t.base as i64 && target < (t.base + t.size) as i64,
+                        || at(format!("branch target {target:#x} outside .text")),
+                    );
+                    match inst_at(m0 + rel.offset) {
+                        Some(&Inst::Br { disp, .. }) => r.check(
+                            delta % 4 == 0 && disp as i64 == delta / 4,
+                            || at(format!("branch patched to {disp}, expected {}", delta / 4)),
+                        ),
+                        other => r.fail(at(format!("BrAddr reloc on {other:?}, expected branch"))),
+                    }
+                }
+                (SecId::Text, RelocKind::Gprel16 { sym, addend, .. }) => {
+                    match sym_addr(modules, symtab, layout, mi, *sym) {
+                        Ok(a) => {
+                            let disp = a as i64 + addend - gp;
+                            r.check(i16::try_from(disp).is_ok(), || {
+                                at(format!("gprel16 target {disp} bytes from GP"))
+                            });
+                            match inst_at(m0 + rel.offset) {
+                                Some(&Inst::Mem { rb, disp: d, .. }) => {
+                                    r.check(rb == Reg::GP, || {
+                                        at("gprel16 use not based on GP".into())
+                                    });
+                                    r.check(d as i64 == disp, || {
+                                        at(format!("gprel16 patched to {d}, expected {disp}"))
+                                    });
+                                }
+                                other => {
+                                    r.fail(at(format!("Gprel16 reloc on {other:?}, expected memory op")))
+                                }
+                            }
+                        }
+                        Err(e) => r.fail(at(format!("gprel16 target unresolvable: {e}"))),
+                    }
+                }
+                (SecId::Text, RelocKind::GprelHigh { sym, addend, .. }) => {
+                    match sym_addr(modules, symtab, layout, mi, *sym) {
+                        Ok(a) => {
+                            let x = a as i64 + addend - gp;
+                            let hi = (x - (x as i16) as i64) >> 16;
+                            r.check(i16::try_from(hi).is_ok(), || {
+                                at(format!("gprelhigh target {x} bytes from GP, outside ±2GB"))
+                            });
+                            match inst_at(m0 + rel.offset) {
+                                Some(&Inst::Mem { op: MemOp::Ldah, rb, disp: d, .. }) => {
+                                    r.check(rb == Reg::GP, || {
+                                        at("gprelhigh not based on GP".into())
+                                    });
+                                    r.check(d as i64 == hi, || {
+                                        at(format!("gprelhigh patched to {d}, expected {hi}"))
+                                    });
+                                }
+                                other => {
+                                    r.fail(at(format!("GprelHigh reloc on {other:?}, expected ldah")))
+                                }
+                            }
+                        }
+                        Err(e) => r.fail(at(format!("gprelhigh target unresolvable: {e}"))),
+                    }
+                }
+                (SecId::Text, RelocKind::GprelLow { sym, addend, hi_addend, .. }) => {
+                    match sym_addr(modules, symtab, layout, mi, *sym) {
+                        Ok(a) => {
+                            let xh = a as i64 + hi_addend - gp;
+                            let hi = (xh - (xh as i16) as i64) >> 16;
+                            let disp = a as i64 + addend - gp - (hi << 16);
+                            r.check(i16::try_from(disp).is_ok(), || {
+                                at(format!("gprellow residual {disp} does not fit 16 bits"))
+                            });
+                            match inst_at(m0 + rel.offset) {
+                                Some(&Inst::Mem { disp: d, .. }) => r.check(d as i64 == disp, || {
+                                    at(format!("gprellow patched to {d}, expected {disp}"))
+                                }),
+                                other => {
+                                    r.fail(at(format!("GprelLow reloc on {other:?}, expected memory op")))
+                                }
+                            }
+                        }
+                        Err(e) => r.fail(at(format!("gprellow target unresolvable: {e}"))),
+                    }
+                }
+                (sec @ (SecId::Data | SecId::Sdata), RelocKind::RefQuad { sym, addend }) => {
+                    let base = if sec == SecId::Data { b.data } else { b.sdata };
+                    match sym_addr(modules, symtab, layout, mi, *sym) {
+                        Ok(a) => {
+                            let want = (a as i64 + addend) as u64;
+                            r.check(read_u64(base + rel.offset) == Some(want), || {
+                                at(format!(
+                                    "{sec} quad at {:#x} does not hold {want:#x}",
+                                    base + rel.offset
+                                ))
+                            });
+                        }
+                        Err(e) => r.fail(at(format!("refquad target unresolvable: {e}"))),
+                    }
+                }
+                (sec, kind) => r.fail(at(format!("unexpected relocation {kind:?} in {sec}"))),
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{optimize_and_link_with, OmLevel, OmOptions};
+    use om_workloads::{build::build, spec};
+
+    fn verified_options() -> OmOptions {
+        OmOptions { verify: true, ..OmOptions::default() }
+    }
+
+    #[test]
+    fn clean_pipeline_passes_and_reports_checks() {
+        let spec = spec::quick(&spec::by_name("espresso").unwrap());
+        let b = build(&spec, om_workloads::CompileMode::Each).unwrap();
+        for level in OmLevel::ALL {
+            let out =
+                optimize_and_link_with(&b.objects, &b.libs, level, &verified_options()).unwrap();
+            let report = out.verify.expect("verify requested");
+            assert!(report.is_ok(), "{level:?}: {report}");
+            assert!(report.checks > 100, "{level:?}: only {} checks ran", report.checks);
+        }
+    }
+
+    #[test]
+    fn corrupted_branch_is_caught() {
+        // Drive the link manually so the final modules and layout are in
+        // hand, then corrupt one branch in the image: the verifier must
+        // notice the disagreement.
+        let spec = spec::quick(&spec::by_name("compress").unwrap());
+        let b = build(&spec, om_workloads::CompileMode::Each).unwrap();
+        let modules = om_linker::select_modules(&b.objects, &b.libs).unwrap();
+        let symtab = om_linker::build_symbol_table(&modules).unwrap();
+        let program = crate::sym::translate(&modules, &symtab).unwrap();
+        let final_modules = crate::sym::emit_all(&program);
+        let symtab = om_linker::build_symbol_table(&final_modules).unwrap();
+        let layout = om_linker::layout(
+            &final_modules,
+            &symtab,
+            &om_linker::LayoutOpts::default(),
+        )
+        .unwrap();
+        let mut image =
+            om_linker::build_image(&final_modules, &symtab, &layout).unwrap();
+        assert!(verify_linked(&final_modules, &symtab, &layout, &image).is_ok());
+
+        // Point some branch 4MB backwards, far outside .text.
+        let t = layout.info.text;
+        let seg = image.segments.iter_mut().find(|s| s.base == t.base).unwrap();
+        let mut patched = false;
+        for off in (0..seg.bytes.len()).step_by(4) {
+            let word = u32::from_le_bytes(seg.bytes[off..off + 4].try_into().unwrap());
+            if let Ok(Inst::Br { .. }) = decode(word) {
+                let bad = (word & 0xFFE0_0000) | 0x0010_0000; // disp = -2^20 words
+                seg.bytes[off..off + 4].copy_from_slice(&bad.to_le_bytes());
+                patched = true;
+                break;
+            }
+        }
+        assert!(patched, "no branch found to corrupt");
+        let report = verify_linked(&final_modules, &symtab, &layout, &image);
+        assert!(!report.is_ok(), "corruption went unnoticed");
+        assert!(
+            report.violations.iter().any(|v| v.contains("outside .text")
+                || v.contains("expected")),
+            "unexpected violations: {report}"
+        );
+    }
+
+    #[test]
+    fn stats_imbalance_is_caught() {
+        let spec = spec::quick(&spec::by_name("compress").unwrap());
+        let b = build(&spec, om_workloads::CompileMode::Each).unwrap();
+        let modules = om_linker::select_modules(&b.objects, &b.libs).unwrap();
+        let symtab = om_linker::build_symbol_table(&modules).unwrap();
+        let program = crate::sym::translate(&modules, &symtab).unwrap();
+        let mut stats = OmStats { insts_before: program.inst_count(), ..OmStats::default() };
+        assert!(verify_stats(&program, &stats).is_ok());
+        stats.insts_deleted = 1; // claim a deletion that never happened
+        assert!(!verify_stats(&program, &stats).is_ok());
+    }
+}

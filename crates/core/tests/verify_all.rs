@@ -1,0 +1,33 @@
+//! Tier-1 verifier sweep: every workload, both compile modes, all four OM
+//! levels must link with `OmOptions::verify` and report zero violations.
+//! This is the whole-program analogue of the per-invariant unit tests in
+//! `om_core::verify` — it proves the invariants hold on real compiler
+//! output, not just hand-built modules.
+
+use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_workloads::{build::build, spec, CompileMode};
+
+#[test]
+fn verifier_passes_on_every_workload_mode_and_level() {
+    let options = OmOptions { verify: true, ..OmOptions::default() };
+    for s in spec::all() {
+        let quick = spec::quick(&s);
+        for mode in CompileMode::ALL {
+            let b = build(&quick, mode).expect("build");
+            for level in OmLevel::ALL {
+                let out = optimize_and_link_with(&b.objects, &b.libs, level, &options)
+                    .unwrap_or_else(|e| {
+                        panic!("{} [{}] {}: {e}", s.name, mode.name(), level.name())
+                    });
+                let report = out.verify.expect("verify requested");
+                assert!(
+                    report.checks > 0,
+                    "{} [{}] {}: no checks ran",
+                    s.name,
+                    mode.name(),
+                    level.name()
+                );
+            }
+        }
+    }
+}

@@ -30,7 +30,12 @@ fn patch_branch(buf: &mut [u8], off: usize, disp: i32) -> Result<(), LinkError> 
 pub fn split_gpdisp(disp: i64) -> Result<(i16, i16), LinkError> {
     let lo = disp as i16;
     let rest = disp - lo as i64;
-    debug_assert_eq!(rest & 0xFFFF, 0);
+    if rest & 0xFFFF != 0 {
+        // Unreachable arithmetically (disp - sign_extend(disp as i16) always
+        // clears the low half), but a real error beats silent truncation if
+        // the invariant is ever broken.
+        return Err(LinkError::Range { what: format!("gpdisp {disp} low half") });
+    }
     let hi = i16::try_from(rest >> 16)
         .map_err(|_| LinkError::Range { what: format!("gpdisp {disp}") })?;
     Ok((hi, lo))
@@ -103,7 +108,14 @@ pub fn build_image(
                     let target = (sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend) as u64;
                     let pc = bases.text + r.offset;
                     let delta = target as i64 - (pc as i64 + 4);
-                    debug_assert_eq!(delta % 4, 0);
+                    if delta % 4 != 0 {
+                        return Err(LinkError::Range {
+                            what: format!(
+                                "branch target {target:#x} not instruction-aligned in `{}`",
+                                m.name
+                            ),
+                        });
+                    }
                     let off = (pc - layout.info.text.base) as usize;
                     patch_branch(&mut text, off, (delta / 4) as i32)?;
                 }

@@ -12,6 +12,34 @@ use om_linker::Image;
 use om_sim::{run_image, run_timed};
 use std::process::exit;
 
+/// Maps a program result to a process exit code without collisions: zero
+/// stays zero, and any nonzero result (including multiples of 128, whose
+/// low 7 bits vanish) exits nonzero.
+fn exit_code(result: i64) -> i32 {
+    if result == 0 {
+        0
+    } else {
+        ((result & 0x7F) as i32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::exit_code;
+
+    #[test]
+    fn nonzero_results_never_exit_zero() {
+        assert_eq!(exit_code(0), 0);
+        assert_eq!(exit_code(1), 1);
+        assert_eq!(exit_code(113), 113);
+        // Multiples of 128 lose their low 7 bits; they must still be nonzero.
+        assert_eq!(exit_code(128), 1);
+        assert_eq!(exit_code(256), 1);
+        assert_eq!(exit_code(-128), 1);
+        assert_eq!(exit_code(1 << 32), 1);
+    }
+}
+
 fn main() {
     let mut limit: u64 = 1_000_000_000;
     let mut timing = false;
@@ -50,6 +78,15 @@ fn main() {
         }
         i += 1;
     }
+    // `--disasm` takes an optional symbol, so an image path that does not
+    // end in `.exe` can be mistaken for one. If no path remained, the
+    // "symbol" was really the image path.
+    if path.is_none() {
+        if let Some(Some(sym)) = disasm.take() {
+            path = Some(sym);
+            disasm = Some(None);
+        }
+    }
     let Some(path) = path else {
         eprintln!("usage: asim [--limit N] [--timing] [--disasm [SYMBOL]] IMAGE.exe");
         exit(2);
@@ -73,6 +110,10 @@ fn main() {
                     eprintln!("asim: no symbol `{sym}`");
                     exit(1);
                 };
+                if !text.contains(addr) {
+                    eprintln!("asim: `{sym}` ({addr:#x}) is not in the text segment");
+                    exit(1);
+                }
                 // Dump until the next symbol (or 64 instructions).
                 let mut end = addr + 256;
                 for &a in image.symbols.values() {
@@ -107,7 +148,7 @@ fn main() {
                     "asim: icache {} misses | dcache {} misses",
                     t.icache_misses, t.dcache_misses
                 );
-                exit((r.result & 0x7F) as i32);
+                exit(exit_code(r.result));
             }
             Err(e) => {
                 eprintln!("asim: {e}");
@@ -121,7 +162,7 @@ fn main() {
                 println!("{v}");
             }
             eprintln!("asim: result {} ({} instructions)", r.result, r.insts);
-            exit((r.result & 0x7F) as i32);
+            exit(exit_code(r.result));
         }
         Err(e) => {
             eprintln!("asim: {e}");

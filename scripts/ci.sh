@@ -1,0 +1,24 @@
+#!/bin/sh
+# Full CI gate: build, test, figure-drift check, and a bounded differential
+# fuzz campaign. Any step failing fails the script.
+#
+# Usage: scripts/ci.sh [FUZZ_SEEDS]
+#   FUZZ_SEEDS   seeds for the omfuzz campaign (default 200)
+set -eu
+
+cd "$(dirname "$0")/.."
+seeds="${1:-200}"
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== figure drift =="
+scripts/bench.sh
+
+echo "== differential fuzz ($seeds seeds) =="
+cargo run --release -p om-bench --bin omfuzz -- --seeds "$seeds"
+
+echo "CI OK"
