@@ -6,8 +6,8 @@
 //!
 //! Each seed generates a random mini-C program, runs the mini-C interpreter
 //! as the reference, then builds and simulates all 8 `(compile mode × OM
-//! level)` variants with the linked-image verifier enabled, comparing
-//! checksums. Failures are shrunk (modules → procedures → statements) and a
+//! level)` variants plus a profile-guided relink per mode (9 in all), each
+//! with the linked-image verifier enabled, comparing checksums. Failures are shrunk (modules → procedures → statements) and a
 //! minimized repro file is written to `--out` (default `target/omfuzz`).
 //! Exits 1 if any seed failed.
 

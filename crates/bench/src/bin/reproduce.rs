@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [all]
+//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [pgo] [all]
 //!           [--quick] [--bench NAME]... [--jobs N] [--json PATH]
 //! ```
 //!
@@ -18,12 +18,12 @@ use om_bench::{json, render};
 use om_workloads::spec;
 use std::time::Instant;
 
-const FIGURES: [&str; 6] = ["fig3", "fig4", "fig5", "fig6", "fig7", "gat"];
+const FIGURES: [&str; 7] = ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo"];
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|all] [--quick] \
+        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|all] [--quick] \
          [--bench NAME]... [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
@@ -100,6 +100,7 @@ fn main() {
         fig6: which.contains(&"fig6"),
         fig7: which.contains(&"fig7"),
         gat: which.contains(&"gat"),
+        pgo: which.contains(&"pgo"),
     };
 
     eprintln!(
@@ -110,6 +111,9 @@ fn main() {
 
     if sel.fig6 {
         eprintln!("fig6: simulating 8 variants per benchmark...");
+    }
+    if sel.pgo {
+        eprintln!("pgo: profiling + relinking + simulating the ninth variant...");
     }
     // Figure 7 measures pipeline wall-clock, so it runs sequentially after
     // the parallel pass — concurrent workers would contend and inflate it.
@@ -137,6 +141,7 @@ fn main() {
             "fig6" => println!("{}", render::fig6(&rows_of!(fig6))),
             "fig7" => println!("{}", render::fig7(&rows_of!(fig7))),
             "gat" => println!("{}", render::gat(&rows_of!(gat))),
+            "pgo" => println!("{}", render::pgo(&rows_of!(pgo))),
             _ => unreachable!(),
         }
     }

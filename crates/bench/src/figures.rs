@@ -14,9 +14,9 @@
 //! concurrently with shared references. Figure 7 is the deliberate
 //! exception — it times fresh pipeline runs, so it bypasses every cache.
 
-use om_core::{optimize_and_link, OmLevel, OmOutput, OmStats};
+use om_core::{optimize_and_link, optimize_and_link_with, OmLevel, OmOptions, OmOutput, OmStats, Profile};
 use om_linker::{link_modules, Image, LayoutOpts};
-use om_sim::{run_timed, TimingStats};
+use om_sim::{run_profiled, run_timed, TimingStats};
 use om_workloads::build::{build, BuiltBenchmark, CompileMode};
 use om_workloads::gen::BenchSpec;
 use std::sync::OnceLock;
@@ -64,6 +64,12 @@ pub struct Prepared {
     om: [[OnceLock<OmOutput>; OmLevel::ALL.len()]; CompileMode::ALL.len()],
     /// Standard-link images per mode, computed on first use.
     std_image: [OnceLock<Image>; CompileMode::ALL.len()],
+    /// Execution profiles per mode (one functional run of the cached
+    /// OM-full-scheduled image), computed on first use.
+    profile: [OnceLock<Profile>; CompileMode::ALL.len()],
+    /// Profile-guided relinks per mode (built with verification on),
+    /// computed on first use.
+    pgo: [OnceLock<OmOutput>; CompileMode::ALL.len()],
 }
 
 impl Prepared {
@@ -83,6 +89,8 @@ impl Prepared {
             all,
             om: Default::default(),
             std_image: Default::default(),
+            profile: Default::default(),
+            pgo: Default::default(),
         }
     }
 
@@ -158,6 +166,61 @@ impl Prepared {
         let t0 = Instant::now();
         let (r, t) = run_timed(&out.image, SIM_LIMIT)
             .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+        phase::add_sim(t0.elapsed());
+        (r.result, t)
+    }
+
+    /// The execution profile of `mode`'s OM-full-scheduled image (one extra
+    /// functional simulator run), cached after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link or execution failure.
+    pub fn profile(&self, mode: CompileMode) -> &Profile {
+        self.profile[mode.index()].get_or_init(|| {
+            let image = &self.om(mode, OmLevel::FullSched).image;
+            let t0 = Instant::now();
+            let (_, prof) = run_profiled(image, SIM_LIMIT)
+                .unwrap_or_else(|e| panic!("{} profile: {e}", self.spec.name));
+            phase::add_sim(t0.elapsed());
+            prof
+        })
+    }
+
+    /// The profile-guided relink of `mode` — OM-full-scheduled rebuilt with
+    /// [`Prepared::profile`] and verification enabled — cached after the
+    /// first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link or verification failure.
+    pub fn om_pgo(&self, mode: CompileMode) -> &OmOutput {
+        self.pgo[mode.index()].get_or_init(|| {
+            let options = OmOptions {
+                profile: Some(self.profile(mode).clone()),
+                verify: true,
+                ..OmOptions::default()
+            };
+            let b = self.built(mode);
+            let t0 = Instant::now();
+            let out =
+                optimize_and_link_with(&b.objects, &b.libs, OmLevel::FullSched, &options)
+                    .unwrap_or_else(|e| panic!("{} pgo: {e}", self.spec.name));
+            phase::add_om(t0.elapsed());
+            out
+        })
+    }
+
+    /// Simulates `mode` after the profile-guided relink.
+    ///
+    /// # Panics
+    ///
+    /// Panics on link or execution failure.
+    pub fn run_pgo(&self, mode: CompileMode) -> (i64, TimingStats) {
+        let out = self.om_pgo(mode);
+        let t0 = Instant::now();
+        let (r, t) = run_timed(&out.image, SIM_LIMIT)
+            .unwrap_or_else(|e| panic!("{} pgo: {e}", self.spec.name));
         phase::add_sim(t0.elapsed());
         (r.result, t)
     }
@@ -327,6 +390,52 @@ pub fn fig7(p: &Prepared) -> Fig7Row {
     }
 }
 
+/// Profile-guided layout (this reproduction's §13 extension): cycle counts
+/// of the profile-guided relink against plain OM-full-scheduled, per
+/// compile mode.
+#[derive(Debug, Clone, Copy)]
+pub struct PgoRow {
+    /// OM-full w/sched cycles (blind backward-target alignment), per mode.
+    pub sched_cycles: [u64; 2],
+    /// Profile-guided relink cycles, per mode.
+    pub pgo_cycles: [u64; 2],
+    /// Percent improvement of PGO over OM-full w/sched, per mode.
+    pub improvement: [f64; 2],
+    /// Procedures moved by hot-first reordering, per mode.
+    pub procs_moved: [usize; 2],
+    /// `(hot, cold)` backward-branch targets under the profile, per mode.
+    pub targets: [(usize, usize); 2],
+}
+
+/// Measures the PGO comparison for one prepared benchmark: profiles the
+/// OM-full-scheduled image, relinks with the profile (verification on), and
+/// simulates both.
+///
+/// # Panics
+///
+/// Panics if the profile-guided image computes a different checksum than the
+/// scheduled one — PGO must never change program meaning.
+pub fn pgo(p: &Prepared) -> PgoRow {
+    let mut sched_cycles = [0u64; 2];
+    let mut pgo_cycles = [0u64; 2];
+    let mut improvement = [0.0; 2];
+    let mut procs_moved = [0usize; 2];
+    let mut targets = [(0usize, 0usize); 2];
+    for mode in CompileMode::ALL {
+        let mi = mode.index();
+        let (expect, sched) = p.run_om(mode, OmLevel::FullSched);
+        let (r, t) = p.run_pgo(mode);
+        assert_eq!(r, expect, "{} {} pgo checksum", p.spec.name, mode.name());
+        sched_cycles[mi] = sched.cycles;
+        pgo_cycles[mi] = t.cycles;
+        improvement[mi] = (sched.cycles as f64 / t.cycles as f64 - 1.0) * 100.0;
+        let s = p.om_pgo(mode).stats;
+        procs_moved[mi] = s.pgo_procs_moved;
+        targets[mi] = (s.pgo_targets_hot, s.pgo_targets_cold);
+    }
+    PgoRow { sched_cycles, pgo_cycles, improvement, procs_moved, targets }
+}
+
 /// §5.1 GAT reduction: merged GAT slots before and after OM-full, per
 /// compile mode.
 #[derive(Debug, Clone, Copy)]
@@ -358,12 +467,21 @@ pub struct Selection {
     pub fig6: bool,
     pub fig7: bool,
     pub gat: bool,
+    pub pgo: bool,
 }
 
 impl Selection {
     /// Everything the `all` command reproduces.
     pub fn all() -> Selection {
-        Selection { fig3: true, fig4: true, fig5: true, fig6: true, fig7: true, gat: true }
+        Selection {
+            fig3: true,
+            fig4: true,
+            fig5: true,
+            fig6: true,
+            fig7: true,
+            gat: true,
+            pgo: true,
+        }
     }
 }
 
@@ -378,6 +496,7 @@ pub struct BenchRows {
     pub fig6: Option<Fig6Row>,
     pub fig7: Option<Fig7Row>,
     pub gat: Option<GatRow>,
+    pub pgo: Option<PgoRow>,
 }
 
 /// Measures all selected figures for one benchmark. Thanks to the memoized
@@ -394,5 +513,9 @@ pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
         }),
         fig7: sel.fig7.then(|| fig7(p)),
         gat: sel.gat.then(|| gat(p)),
+        pgo: sel.pgo.then(|| {
+            eprintln!("  pgo: {}", p.spec.name);
+            pgo(p)
+        }),
     }
 }

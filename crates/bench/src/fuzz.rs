@@ -2,11 +2,13 @@
 //!
 //! Each seed generates a random mini-C program as a *shrinkable structure*
 //! (modules → procedures → statements), renders it to sources, and checks
-//! that all 8 `(compile mode × OM level)` build variants — each linked with
+//! that all `(compile mode × OM level)` build variants — each linked with
 //! [`OmOptions::verify`] — reproduce the mini-C interpreter's checksum
-//! bit-for-bit. The interpreter never touches the object-code pipeline, so
-//! any disagreement pins a bug in codegen, the linker, an OM
-//! transformation, or the simulator.
+//! bit-for-bit. Each mode additionally checks a ninth, profile-guided
+//! variant: the scheduled image is profiled, relinked with the profile
+//! (verification still on), and re-diffed. The interpreter never touches
+//! the object-code pipeline, so any disagreement pins a bug in codegen, the
+//! linker, an OM transformation, profile collection, or the simulator.
 //!
 //! On failure [`shrink`] greedily drops trailing modules, then unreferenced
 //! procedures, then individual statements, re-running the oracle at each
@@ -16,7 +18,7 @@
 
 use om_core::{optimize_and_link_with, OmLevel, OmOptions};
 use om_prng::StdRng;
-use om_sim::run_image;
+use om_sim::{run_image, run_profiled};
 use om_workloads::stdlib::STDLIB_SOURCES;
 use om_workloads::{stdlib_libs, CompileMode};
 use std::fmt::Write as _;
@@ -383,7 +385,7 @@ pub struct Mismatch {
     pub detail: String,
 }
 
-/// Outcome of checking one program against all 8 variants.
+/// Outcome of checking one program against all 9 variants.
 #[derive(Debug, Clone)]
 pub enum Outcome {
     /// All variants linked, verified, and reproduced the reference checksum.
@@ -465,29 +467,68 @@ pub fn check(prog: &FuzzProgram) -> Outcome {
             });
             continue;
         }
+        let mut sched_image = None;
         for level in OmLevel::ALL {
             let variant = format!("{} × {}", mode.name(), level.name());
             match optimize_and_link_with(&objects, &libs, level, &opts) {
-                Ok(out) => match run_image(&out.image, SIM_STEPS) {
-                    Ok(r) => {
-                        if r.result != reference {
-                            mismatches.push(Mismatch {
+                Ok(out) => {
+                    match run_image(&out.image, SIM_STEPS) {
+                        Ok(r) => {
+                            if r.result != reference {
+                                mismatches.push(Mismatch {
+                                    variant,
+                                    detail: format!(
+                                        "checksum {} != reference {reference}",
+                                        r.result
+                                    ),
+                                });
+                            } else if level == OmLevel::FullSched {
+                                sched_image = Some(out.image);
+                            }
+                        }
+                        Err(e) => mismatches.push(Mismatch {
+                            variant,
+                            detail: format!("simulator: {e}"),
+                        }),
+                    }
+                }
+                Err(e) => mismatches.push(Mismatch {
+                    variant,
+                    detail: format!("link/verify: {e}"),
+                }),
+            }
+        }
+        // Ninth variant: profile the correct scheduled image, relink with
+        // the profile, and re-diff the checksum.
+        if let Some(image) = sched_image {
+            let variant = format!("{} × pgo", mode.name());
+            match run_profiled(&image, SIM_STEPS) {
+                Ok((_, profile)) => {
+                    let popts = OmOptions { profile: Some(profile), ..opts.clone() };
+                    match optimize_and_link_with(&objects, &libs, OmLevel::FullSched, &popts) {
+                        Ok(out) => match run_image(&out.image, SIM_STEPS) {
+                            Ok(r) if r.result != reference => mismatches.push(Mismatch {
                                 variant,
                                 detail: format!(
                                     "checksum {} != reference {reference}",
                                     r.result
                                 ),
-                            });
-                        }
+                            }),
+                            Ok(_) => {}
+                            Err(e) => mismatches.push(Mismatch {
+                                variant,
+                                detail: format!("simulator: {e}"),
+                            }),
+                        },
+                        Err(e) => mismatches.push(Mismatch {
+                            variant,
+                            detail: format!("link/verify: {e}"),
+                        }),
                     }
-                    Err(e) => mismatches.push(Mismatch {
-                        variant,
-                        detail: format!("simulator: {e}"),
-                    }),
-                },
+                }
                 Err(e) => mismatches.push(Mismatch {
                     variant,
-                    detail: format!("link/verify: {e}"),
+                    detail: format!("profiling run: {e}"),
                 }),
             }
         }

@@ -121,6 +121,19 @@ fn rows_for(out: &mut String, r: &BenchRows) -> usize {
             ],
         );
     }
+    if let Some(x) = r.pgo {
+        sep(out);
+        let mut fields = Vec::new();
+        for (mi, m) in ["each", "all"].iter().enumerate() {
+            fields.push((format!("sched_cycles_{m}"), x.sched_cycles[mi].to_string()));
+            fields.push((format!("pgo_cycles_{m}"), x.pgo_cycles[mi].to_string()));
+            fields.push((format!("imp_{m}"), f(x.improvement[mi])));
+            fields.push((format!("procs_moved_{m}"), x.procs_moved[mi].to_string()));
+            fields.push((format!("hot_{m}"), x.targets[mi].0.to_string()));
+            fields.push((format!("cold_{m}"), x.targets[mi].1.to_string()));
+        }
+        push_row(out, "pgo", &r.name, &fields);
+    }
     n
 }
 
@@ -167,7 +180,7 @@ pub fn report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::{Fig5Row, GatRow};
+    use crate::figures::{Fig5Row, GatRow, PgoRow};
 
     #[test]
     fn rows_are_single_grepable_lines() {
@@ -184,12 +197,21 @@ mod tests {
             fig6: None,
             fig7: None,
             gat: Some(GatRow { each_before: 40, each_after: 5, all_before: 38, all_after: 4 }),
+            pgo: Some(PgoRow {
+                sched_cycles: [1000, 2000],
+                pgo_cycles: [950, 1900],
+                improvement: [5.26, 5.26],
+                procs_moved: [2, 3],
+                targets: [(4, 1), (5, 0)],
+            }),
         }];
         let s = report(&rows, true, 4, 1.5, (0.5, 0.25, 0.75));
         let bench_lines: Vec<&str> = s.lines().filter(|l| l.contains("\"bench\"")).collect();
-        assert_eq!(bench_lines.len(), 2, "{s}");
+        assert_eq!(bench_lines.len(), 3, "{s}");
         assert!(bench_lines[0].contains("\"fig\":\"fig5\""), "{s}");
         assert!(bench_lines[1].contains("\"each_before\":40"), "{s}");
+        assert!(bench_lines[2].contains("\"fig\":\"pgo\""), "{s}");
+        assert!(bench_lines[2].contains("\"pgo_cycles_each\":950"), "{s}");
         assert!(s.contains("\"phase_seconds\""), "{s}");
         // Valid-enough JSON: balanced braces/brackets on the skeleton.
         assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");

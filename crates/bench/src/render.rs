@@ -2,7 +2,7 @@
 //! plots (per-benchmark rows plus the unweighted arithmetic mean the paper's
 //! figure keys show).
 
-use crate::figures::{Fig3Row, Fig4Row, Fig5Row, Fig6Row, Fig7Row, GatRow};
+use crate::figures::{Fig3Row, Fig4Row, Fig5Row, Fig6Row, Fig7Row, GatRow, PgoRow};
 
 fn pct(v: f64) -> String {
     format!("{:5.1}", v * 100.0)
@@ -275,6 +275,72 @@ pub fn gat(rows: &[(String, GatRow)]) -> String {
     out
 }
 
+/// Renders the profile-guided-layout comparison table.
+pub fn pgo(rows: &[(String, PgoRow)]) -> String {
+    let mut out = String::new();
+    out.push_str("Profile-guided layout vs OM-full w/sched (cycles; + = PGO faster)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:^28} | {:^28}\n",
+        "", "compile-each", "compile-all"
+    ));
+    out.push_str(&format!(
+        "{:10} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6}\n",
+        "benchmark", "sched", "pgo", "imp%", "sched", "pgo", "imp%"
+    ));
+    out.push_str(&"-".repeat(73));
+    out.push('\n');
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    let mut wins = [0usize; 2];
+    let mut ties = [0usize; 2];
+    for (name, r) in rows {
+        for mi in 0..2 {
+            cols[mi].push(r.improvement[mi]);
+            if r.pgo_cycles[mi] < r.sched_cycles[mi] {
+                wins[mi] += 1;
+            } else if r.pgo_cycles[mi] == r.sched_cycles[mi] {
+                ties[mi] += 1;
+            }
+        }
+        out.push_str(&format!(
+            "{:10} | {:>10} {:>10} {:>6.2} | {:>10} {:>10} {:>6.2}\n",
+            name,
+            r.sched_cycles[0],
+            r.pgo_cycles[0],
+            r.improvement[0],
+            r.sched_cycles[1],
+            r.pgo_cycles[1],
+            r.improvement[1]
+        ));
+    }
+    out.push_str(&"-".repeat(73));
+    out.push('\n');
+    let mean = |c: &Vec<f64>| c.iter().sum::<f64>() / c.len() as f64;
+    let median = |c: &Vec<f64>| {
+        let mut s = c.clone();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    out.push_str(&format!(
+        "{:10} | {:>10} {:>10} {:>6.2} | {:>10} {:>10} {:>6.2}\n",
+        "MEAN", "", "", mean(&cols[0]), "", "", mean(&cols[1])
+    ));
+    out.push_str(&format!(
+        "{:10} | {:>10} {:>10} {:>6.2} | {:>10} {:>10} {:>6.2}\n",
+        "MEDIAN", "", "", median(&cols[0]), "", "", median(&cols[1])
+    ));
+    let n = rows.len();
+    out.push_str(&format!(
+        "PGO no worse: each {}/{n} ({} faster, {} tied), all {}/{n} ({} faster, {} tied)\n",
+        wins[0] + ties[0],
+        wins[0],
+        ties[0],
+        wins[1] + ties[1],
+        wins[1],
+        ties[1]
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +360,36 @@ mod tests {
         let t = fig5(&rows);
         assert!(t.contains("MEAN"));
         assert!(t.contains("7.0"), "{t}"); // mean of 6% and 8%
+    }
+
+    #[test]
+    fn pgo_table_counts_wins() {
+        let rows = vec![
+            (
+                "a".to_string(),
+                PgoRow {
+                    sched_cycles: [1000, 2000],
+                    pgo_cycles: [900, 2000],
+                    improvement: [11.11, 0.0],
+                    procs_moved: [3, 0],
+                    targets: [(2, 1), (4, 0)],
+                },
+            ),
+            (
+                "b".to_string(),
+                PgoRow {
+                    sched_cycles: [500, 600],
+                    pgo_cycles: [510, 580],
+                    improvement: [-1.96, 3.45],
+                    procs_moved: [1, 2],
+                    targets: [(1, 1), (1, 2)],
+                },
+            ),
+        ];
+        let t = pgo(&rows);
+        assert!(t.contains("each 1/2 (1 faster, 0 tied)"), "{t}");
+        assert!(t.contains("all 2/2 (1 faster, 1 tied)"), "{t}");
+        assert!(t.contains("MEDIAN"), "{t}");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Tier-1 differential-fuzz smoke: a bounded, fixed-seed slice of the
 //! `omfuzz` campaign runs on every `cargo test`. Each seed checks the mini-C
 //! interpreter's checksum against all 8 `(compile mode × OM level)` variants
-//! with the linked-image verifier enabled, so a regression in codegen, the
-//! linker, an OM transformation, or the simulator fails here — not just in
+//! plus a profile-guided relink per mode, each with the linked-image
+//! verifier enabled, so a regression in codegen, the linker, an OM
+//! transformation, profiling, or the simulator fails here — not just in
 //! the standalone `omfuzz` binary.
 
 use om_bench::fuzz::{check, generate, FuzzConfig, Outcome};

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats]
-//!    [--verify] [--preemptible SYMBOL]... FILE.o... [LIB.a...]
+//!    [--verify] [--profile-use PROF.json] [--preemptible SYMBOL]...
+//!    FILE.o... [LIB.a...]
 //! ```
 //!
 //! `--preemptible` marks a symbol as dynamically bindable: every reference
@@ -11,13 +12,17 @@
 //! against OM's structural invariants (branch bounds, GAT reach, GPDISP
 //! pairing, LITUSE links, segment geometry, stats accounting) and fails
 //! the link on any violation.
+//! `--profile-use` reads an execution profile written by `asim --profile`
+//! and enables profile-guided layout: procedures reorder hot-first by call
+//! count and only hot backward-branch targets earn alignment UNOPs. It
+//! implies `--level full-sched` (the only level that lays code out).
 //!
 //! Replaces the standard link step: translates the whole program to symbolic
 //! form, applies the requested level of address-calculation optimization,
 //! and writes the linked executable. `--stats` prints the Figure 3–5
 //! counters for this program.
 
-use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_core::{optimize_and_link_with, OmLevel, OmOptions, Profile};
 use om_objfile::binary;
 use std::path::PathBuf;
 use std::process::exit;
@@ -56,6 +61,21 @@ fn main() {
             }
             "--stats" => stats = true,
             "--verify" => options.verify = true,
+            "--profile-use" => {
+                i += 1;
+                let f = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("om: --profile-use needs a profile path");
+                    exit(2);
+                });
+                let text = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                    eprintln!("om: cannot read {f}: {e}");
+                    exit(1);
+                });
+                options.profile = Some(Profile::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("om: {f}: {e}");
+                    exit(1);
+                }));
+            }
             "--preemptible" => {
                 i += 1;
                 options.preemptible.push(args.get(i).cloned().unwrap_or_else(|| {
@@ -88,8 +108,12 @@ fn main() {
         i += 1;
     }
     if objects.is_empty() {
-        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] [--verify] FILE.o... [LIB.a...]");
+        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] [--verify] [--profile-use PROF.json] FILE.o... [LIB.a...]");
         exit(2);
+    }
+    // PGO layout only exists at the scheduling level, regardless of flag order.
+    if options.profile.is_some() {
+        level = OmLevel::FullSched;
     }
 
     match optimize_and_link_with(&objects, &libs, level, &options) {

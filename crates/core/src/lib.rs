@@ -39,7 +39,9 @@
 
 pub mod analysis;
 pub mod full;
+pub mod pgo;
 pub mod pipeline;
+pub mod profile;
 pub mod resched;
 pub mod simple;
 pub mod stats;
@@ -50,6 +52,7 @@ pub use pipeline::{
     optimize_and_link, optimize_and_link_with, pipeline_runs, CallBook, OmLevel, OmOptions,
     OmOutput,
 };
+pub use profile::{CallEdge, ProcProfile, Profile, ProfileError};
 pub use stats::OmStats;
 pub use sym::{GlobalRef, OmError, SymProgram};
 pub use verify::VerifyReport;

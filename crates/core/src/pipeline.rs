@@ -92,6 +92,15 @@ pub struct OmOptions {
     /// link with [`OmError::Verify`]. The passing report is returned in
     /// [`OmOutput::verify`].
     pub verify: bool,
+    /// An execution profile for profile-guided layout. Only
+    /// [`OmLevel::FullSched`] consults it: rescheduling runs as usual, then
+    /// [`crate::pgo`] reorders procedures by call frequency and aligns only
+    /// hot backward-branch targets (replacing the blind alignment pass).
+    pub profile: Option<crate::profile::Profile>,
+    /// Minimum profiled execution count for a backward-branch target to be
+    /// considered hot (and earn alignment UNOPs) under profile-guided
+    /// layout. The default, 1, skips only never-executed targets.
+    pub pgo_hot_min: u64,
 }
 
 impl Default for OmOptions {
@@ -102,6 +111,8 @@ impl Default for OmOptions {
             max_rounds: 8,
             preemptible: Vec::new(),
             verify: false,
+            profile: None,
+            pgo_hot_min: 1,
         }
     }
 }
@@ -196,7 +207,19 @@ pub fn optimize_and_link_with(
         OmLevel::Full => crate::full::run_with(&mut program, &mut stats, &mut book, options)?,
         OmLevel::FullSched => {
             crate::full::run_with(&mut program, &mut stats, &mut book, options)?;
-            crate::resched::run_with(&mut program, &mut stats, options.align_backward_targets);
+            match &options.profile {
+                None => crate::resched::run_with(
+                    &mut program,
+                    &mut stats,
+                    options.align_backward_targets,
+                ),
+                Some(profile) => {
+                    // Schedule without the blind alignment pass; the PGO
+                    // layer reorders procedures and aligns hot targets only.
+                    crate::resched::run_with(&mut program, &mut stats, false);
+                    crate::pgo::run_with(&mut program, &mut stats, profile, options);
+                }
+            }
         }
     }
 

@@ -1,0 +1,497 @@
+//! Execution profiles: the serialized form of what `om-sim`'s
+//! `ProfileObserver` measures, and what the profile-guided layout pass
+//! ([`crate::pgo`]) consumes.
+//!
+//! The paper's OM applies its layout heuristics blindly — every
+//! backward-branch target is quadword-aligned, procedures stay in input
+//! order. BOLT-style post-link optimizers showed the same machinery pays off
+//! more when driven by an execution profile. A [`Profile`] carries exactly
+//! the counts that layer needs:
+//!
+//! * per-procedure entry counts (call frequency → hot/cold ordering),
+//! * per-procedure retired-instruction counts (observability),
+//! * execution counts of each backward-branch target, *by rank* — the
+//!   target's index among the procedure's distinct backward-branch targets
+//!   in code order. Ranks survive relinking: OM's scheduling is
+//!   deterministic and alignment padding never adds or reorders targets, so
+//!   rank `k` in the profiled image is rank `k` in the rebuild.
+//! * call edges (caller → callee counts), for diagnostics and tooling.
+//!
+//! The on-disk format is line-oriented JSON, hand-rolled like the rest of
+//! the workspace (the build is offline; no serde). Serialization is
+//! deterministic: procedures sort by name, edges by (caller, callee).
+
+use std::fmt;
+
+/// Per-procedure execution counts. The `name` is the procedure's linked-image
+/// symbol: the plain name for exported procedures, `"name.module"` for
+/// locals — the same qualification the linker's symbol table uses, so
+/// image-side attribution and symbolic-side lookup agree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcProfile {
+    pub name: String,
+    /// Times the procedure was entered by a call (BSR/JSR).
+    pub calls: u64,
+    /// Instructions retired inside the procedure.
+    pub insts: u64,
+    /// Execution count of each distinct backward-branch target, indexed by
+    /// rank (code order). Length = number of targets the procedure *has*,
+    /// not just those that ran; unexecuted targets count 0.
+    pub back_targets: Vec<u64>,
+}
+
+/// One call edge: `caller` transferred to `callee` `count` times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallEdge {
+    pub caller: String,
+    pub callee: String,
+    pub count: u64,
+}
+
+/// A whole-program execution profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Total instructions retired by the profiled run.
+    pub total_insts: u64,
+    /// Per-procedure counts, sorted by name (see [`Profile::normalize`]).
+    pub procs: Vec<ProcProfile>,
+    /// Call edges, sorted by (caller, callee).
+    pub edges: Vec<CallEdge>,
+}
+
+/// Errors from [`Profile::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError(pub String);
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl Profile {
+    /// Sorts procedures by name and edges by (caller, callee), making the
+    /// serialized form canonical. Lookup ([`Profile::proc`]) requires it.
+    pub fn normalize(&mut self) {
+        self.procs.sort_by(|a, b| a.name.cmp(&b.name));
+        self.edges
+            .sort_by(|a, b| (&a.caller, &a.callee).cmp(&(&b.caller, &b.callee)));
+    }
+
+    /// Looks up a procedure by its linked-image symbol name (binary search;
+    /// the profile must be normalized, which both the observer and the
+    /// parser guarantee).
+    pub fn proc(&self, name: &str) -> Option<&ProcProfile> {
+        self.procs
+            .binary_search_by(|p| p.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.procs[i])
+    }
+
+    /// Serializes to the line-oriented JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"om-profile/v1\",\n");
+        out.push_str(&format!("  \"total_insts\": {},\n", self.total_insts));
+        out.push_str("  \"procs\": [\n");
+        for (i, p) in self.procs.iter().enumerate() {
+            let counts: Vec<String> = p.back_targets.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "    {{\"name\":{},\"calls\":{},\"insts\":{},\"back_targets\":[{}]}}{}\n",
+                escape(&p.name),
+                p.calls,
+                p.insts,
+                counts.join(","),
+                if i + 1 < self.procs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"edges\": [\n");
+        for (i, e) in self.edges.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"caller\":{},\"callee\":{},\"count\":{}}}{}\n",
+                escape(&e.caller),
+                escape(&e.callee),
+                e.count,
+                if i + 1 < self.edges.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the JSON format (key order does not matter; unknown keys are
+    /// ignored for forward compatibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] on malformed JSON, a wrong schema tag, or
+    /// missing required keys.
+    pub fn from_json(s: &str) -> Result<Profile, ProfileError> {
+        let top = parse_value(&mut Cursor::new(s))?.into_obj("top level")?;
+        match top.get("schema") {
+            Some(Val::Str(tag)) if tag == "om-profile/v1" => {}
+            Some(Val::Str(tag)) => {
+                return Err(ProfileError(format!("unsupported schema {tag:?}")))
+            }
+            _ => return Err(ProfileError("missing schema tag".into())),
+        }
+        let mut profile = Profile {
+            total_insts: top.req_num("total_insts")?,
+            procs: Vec::new(),
+            edges: Vec::new(),
+        };
+        for v in top.req_arr("procs")? {
+            let o = v.into_obj("proc entry")?;
+            let mut back_targets = Vec::new();
+            for c in o.req_arr("back_targets")? {
+                back_targets.push(c.into_num("back_targets element")?);
+            }
+            profile.procs.push(ProcProfile {
+                name: o.req_str("name")?,
+                calls: o.req_num("calls")?,
+                insts: o.req_num("insts")?,
+                back_targets,
+            });
+        }
+        for v in top.req_arr("edges")? {
+            let o = v.into_obj("edge entry")?;
+            profile.edges.push(CallEdge {
+                caller: o.req_str("caller")?,
+                callee: o.req_str("callee")?,
+                count: o.req_num("count")?,
+            });
+        }
+        profile.normalize();
+        Ok(profile)
+    }
+}
+
+/// JSON string escaping for names (control characters, quote, backslash).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value model: only what the profile format uses.
+#[derive(Debug, Clone)]
+enum Val {
+    Str(String),
+    Num(u64),
+    Arr(Vec<Val>),
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    fn into_obj(self, what: &str) -> Result<Obj, ProfileError> {
+        match self {
+            Val::Obj(pairs) => Ok(Obj(pairs)),
+            _ => Err(ProfileError(format!("{what}: expected an object"))),
+        }
+    }
+
+    fn into_num(self, what: &str) -> Result<u64, ProfileError> {
+        match self {
+            Val::Num(n) => Ok(n),
+            _ => Err(ProfileError(format!("{what}: expected a number"))),
+        }
+    }
+}
+
+/// An object with by-key access (linear scan; objects here are tiny).
+struct Obj(Vec<(String, Val)>);
+
+impl Obj {
+    fn get(&self, key: &str) -> Option<&Val> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn take(&self, key: &str) -> Result<Val, ProfileError> {
+        self.get(key)
+            .cloned()
+            .ok_or_else(|| ProfileError(format!("missing key {key:?}")))
+    }
+
+    fn req_num(&self, key: &str) -> Result<u64, ProfileError> {
+        self.take(key)?.into_num(key)
+    }
+
+    fn req_str(&self, key: &str) -> Result<String, ProfileError> {
+        match self.take(key)? {
+            Val::Str(s) => Ok(s),
+            _ => Err(ProfileError(format!("{key}: expected a string"))),
+        }
+    }
+
+    fn req_arr(&self, key: &str) -> Result<Vec<Val>, ProfileError> {
+        match self.take(key)? {
+            Val::Arr(v) => Ok(v),
+            _ => Err(ProfileError(format!("{key}: expected an array"))),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, ProfileError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| ProfileError("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ProfileError> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ProfileError(format!(
+                "expected {:?} at byte {}",
+                c as char, self.pos
+            )))
+        }
+    }
+}
+
+fn parse_value(c: &mut Cursor) -> Result<Val, ProfileError> {
+    match c.peek()? {
+        b'"' => parse_string(c).map(Val::Str),
+        b'{' => {
+            c.pos += 1;
+            let mut pairs = Vec::new();
+            if c.peek()? == b'}' {
+                c.pos += 1;
+                return Ok(Val::Obj(pairs));
+            }
+            loop {
+                let key = parse_string(c)?;
+                c.expect(b':')?;
+                pairs.push((key, parse_value(c)?));
+                match c.peek()? {
+                    b',' => c.pos += 1,
+                    b'}' => {
+                        c.pos += 1;
+                        return Ok(Val::Obj(pairs));
+                    }
+                    other => {
+                        return Err(ProfileError(format!(
+                            "expected ',' or '}}', found {:?}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+        b'[' => {
+            c.pos += 1;
+            let mut items = Vec::new();
+            if c.peek()? == b']' {
+                c.pos += 1;
+                return Ok(Val::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c)?);
+                match c.peek()? {
+                    b',' => c.pos += 1,
+                    b']' => {
+                        c.pos += 1;
+                        return Ok(Val::Arr(items));
+                    }
+                    other => {
+                        return Err(ProfileError(format!(
+                            "expected ',' or ']', found {:?}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+        b'0'..=b'9' => parse_number(c).map(Val::Num),
+        other => Err(ProfileError(format!(
+            "unexpected {:?} at byte {}",
+            other as char, c.pos
+        ))),
+    }
+}
+
+fn parse_number(c: &mut Cursor) -> Result<u64, ProfileError> {
+    let start = c.pos;
+    while c.pos < c.bytes.len() && c.bytes[c.pos].is_ascii_digit() {
+        c.pos += 1;
+    }
+    let digits = std::str::from_utf8(&c.bytes[start..c.pos]).expect("ascii digits");
+    digits
+        .parse::<u64>()
+        .map_err(|_| ProfileError(format!("number out of range: {digits}")))
+}
+
+fn parse_string(c: &mut Cursor) -> Result<String, ProfileError> {
+    c.expect(b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = c.bytes.get(c.pos) else {
+            return Err(ProfileError("unterminated string".into()));
+        };
+        c.pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = c.bytes.get(c.pos) else {
+                    return Err(ProfileError("unterminated escape".into()));
+                };
+                c.pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = c
+                            .bytes
+                            .get(c.pos..c.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| ProfileError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| ProfileError(format!("bad \\u escape {hex:?}")))?;
+                        c.pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| ProfileError(format!("bad code point {code:#x}")))?,
+                        );
+                    }
+                    other => {
+                        return Err(ProfileError(format!("bad escape \\{}", other as char)))
+                    }
+                }
+            }
+            _ => {
+                // Re-decode the UTF-8 sequence starting at the byte we took
+                // (shortest valid prefix = exactly one character).
+                let s = &c.bytes[c.pos - 1..];
+                let ch = (1..=4.min(s.len()))
+                    .find_map(|n| std::str::from_utf8(&s[..n]).ok())
+                    .and_then(|t| t.chars().next())
+                    .ok_or_else(|| ProfileError("invalid UTF-8 in string".into()))?;
+                c.pos += ch.len_utf8() - 1;
+                out.push(ch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        let mut p = Profile {
+            total_insts: 1234,
+            procs: vec![
+                ProcProfile {
+                    name: "main".into(),
+                    calls: 1,
+                    insts: 500,
+                    back_targets: vec![12, 0, u64::MAX],
+                },
+                ProcProfile {
+                    name: "helper.mod_a".into(),
+                    calls: 40,
+                    insts: 734,
+                    back_targets: vec![],
+                },
+            ],
+            edges: vec![CallEdge { caller: "main".into(), callee: "helper.mod_a".into(), count: 40 }],
+        };
+        p.normalize();
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let q = Profile::from_json(&p.to_json()).expect("roundtrip");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn lookup_finds_procs_by_name() {
+        let p = sample();
+        assert_eq!(p.proc("main").unwrap().insts, 500);
+        assert_eq!(p.proc("helper.mod_a").unwrap().calls, 40);
+        assert!(p.proc("absent").is_none());
+    }
+
+    #[test]
+    fn parser_ignores_key_order_and_unknown_keys() {
+        let s = r#"{"total_insts": 7, "schema": "om-profile/v1", "future": [1,2],
+                    "edges": [], "procs": [{"back_targets":[1],"insts":7,"calls":2,"name":"f","x":0}]}"#;
+        let p = Profile::from_json(s).expect("parse");
+        assert_eq!(p.total_insts, 7);
+        assert_eq!(p.procs[0].name, "f");
+        assert_eq!(p.procs[0].back_targets, vec![1]);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Profile::from_json("").is_err());
+        assert!(Profile::from_json("{}").is_err());
+        assert!(Profile::from_json("{\"schema\":\"om-profile/v2\"}").is_err());
+        // Overflow past u64::MAX is an error, not a wrap.
+        let s = "{\"schema\":\"om-profile/v1\",\"total_insts\":99999999999999999999,\"procs\":[],\"edges\":[]}";
+        assert!(Profile::from_json(s).is_err());
+        // Truncated input.
+        let good = sample().to_json();
+        assert!(Profile::from_json(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn escaped_names_roundtrip() {
+        let mut p = Profile::default();
+        p.procs.push(ProcProfile {
+            name: "we\"ird\\name\n.mod".into(),
+            calls: 3,
+            insts: 9,
+            back_targets: vec![0],
+        });
+        p.normalize();
+        let q = Profile::from_json(&p.to_json()).expect("roundtrip");
+        assert_eq!(p, q);
+    }
+}

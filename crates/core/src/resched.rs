@@ -10,7 +10,7 @@
 //! measures the same experiment.
 
 use crate::stats::OmStats;
-use crate::sym::{InstId, SInst, SMark, SymProgram};
+use crate::sym::{InstId, SInst, SMark, SymProc, SymProgram};
 use om_alpha::timing::{can_dual_issue, latency};
 use om_alpha::{Effects, Inst};
 use std::collections::{HashMap, HashSet};
@@ -163,38 +163,62 @@ fn schedule_block(block: &mut Vec<SInst>) {
         .collect();
 }
 
+/// The distinct backward-branch targets of `p` (target position ≤ branch
+/// position), in target code order. The index of a target in this list is
+/// its *rank* — the key the profile format uses to match targets across
+/// relinks (scheduling is deterministic and padding never adds targets, so
+/// ranks are stable where instruction ids and addresses are not).
+pub fn backward_target_ids(p: &SymProc) -> Vec<InstId> {
+    let pos_of: HashMap<InstId, usize> =
+        p.insts.iter().enumerate().map(|(k, i)| (i.id, k)).collect();
+    let mut positions: Vec<usize> = p
+        .insts
+        .iter()
+        .enumerate()
+        .filter_map(|(k, i)| match i.mark {
+            SMark::BrLocal { target } if pos_of[&target] <= k => Some(pos_of[&target]),
+            _ => None,
+        })
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    positions.into_iter().map(|k| p.insts[k].id).collect()
+}
+
 /// Inserts UNOPs so that every backward-branch target lands on an 8-byte
 /// boundary in the final image (procedure start offsets are 16-aligned at
 /// layout time, so intra-module offsets determine alignment).
 fn align_backward_targets(program: &mut SymProgram, stats: &mut OmStats) {
-    for m in &mut program.modules {
+    align_backward_targets_where(program, stats, |_, _, _| true);
+}
+
+/// [`align_backward_targets`] restricted to the targets `keep` selects by
+/// `(module index, proc index, target rank)` — the profile-guided layout
+/// pass aligns only *hot* targets through this hook.
+pub fn align_backward_targets_where(
+    program: &mut SymProgram,
+    stats: &mut OmStats,
+    mut keep: impl FnMut(usize, usize, usize) -> bool,
+) {
+    for (mi, m) in program.modules.iter_mut().enumerate() {
         // Offset of each proc start within the module, updated as UNOPs are
         // inserted (procedures are laid out back to back).
         let mut base = 0u64;
-        for p in &mut m.procs {
-            // Identify backward-branch targets: target position < branch
-            // position.
-            let pos_of: HashMap<InstId, usize> =
-                p.insts.iter().enumerate().map(|(k, i)| (i.id, k)).collect();
-            let mut targets: Vec<InstId> = p
-                .insts
-                .iter()
+        for (pi, p) in m.procs.iter_mut().enumerate() {
+            let rank_of: HashMap<InstId, usize> = backward_target_ids(p)
+                .into_iter()
                 .enumerate()
-                .filter_map(|(k, i)| match i.mark {
-                    SMark::BrLocal { target } if pos_of[&target] <= k => Some(target),
-                    _ => None,
-                })
+                .map(|(rank, id)| (id, rank))
                 .collect();
-            targets.sort_unstable();
-            targets.dedup();
 
-            // Walk front to back, padding before each backward target until
+            // Walk front to back, padding before each selected target until
             // its offset is quadword-aligned. Padding shifts later targets,
             // so process in position order.
             let mut k = 0;
             while k < p.insts.len() {
                 let id = p.insts[k].id;
-                if targets.contains(&id) && !(base + 4 * k as u64).is_multiple_of(8) {
+                let wanted = rank_of.get(&id).is_some_and(|&rank| keep(mi, pi, rank));
+                if wanted && !(base + 4 * k as u64).is_multiple_of(8) {
                     let fresh = p.fresh_id();
                     p.insts.insert(k, SInst { id: fresh, inst: Inst::unop(), mark: SMark::None });
                     stats.unops_inserted += 1;

@@ -37,6 +37,15 @@ pub struct OmStats {
     /// Merged GAT slots before and after optimization.
     pub gat_slots_before: usize,
     pub gat_slots_after: usize,
+
+    /// Procedures placed at a new intra-module position by profile-guided
+    /// hot/cold reordering.
+    pub pgo_procs_moved: usize,
+    /// Backward-branch targets the profile marked hot (alignment-eligible);
+    /// includes the blind-alignment fallback for unprofiled procedures.
+    pub pgo_targets_hot: usize,
+    /// Backward-branch targets left unaligned as cold.
+    pub pgo_targets_cold: usize,
 }
 
 impl OmStats {

@@ -1,0 +1,143 @@
+120000000:  27bb 2001   ldah gp, 8193(pv)
+120000004:  23bd 8000   lda gp, -32768(gp)
+120000008:  d340 0065   bsr ra, 0x1200001a0
+12000000c:  0000 0555   call_pal halt
+120000010:  0000 0556   call_pal write_int
+120000014:  47f0 0400   bis zero, r16, r0
+120000018:  6bfa 8000   ret zero, (ra)
+12000001c:  0000 0000   .word 0x00000000
+120000020:  47ff 0402   bis zero, zero, r2
+120000024:  47f0 0401   bis zero, r16, r1
+120000028:  47ff 0402   bis zero, zero, r2
+12000002c:  4041 39a3   cmplt r2, 9, r3
+120000030:  e460 000a   beq r3, 0x12000005c
+120000034:  4c20 7403   mulq r1, 3, r3
+120000038:  239d 8000   lda at, -32768(gp)
+12000003c:  4440 f004   and r2, 7, r4
+120000040:  409c 065c   s8addq r4, at, at
+120000044:  a49c 0000   ldq r4, 0(at)
+120000048:  4064 0404   addq r3, r4, r4
+12000004c:  47e4 0401   bis zero, r4, r1
+120000050:  4040 3404   addq r2, 1, r4
+120000054:  47e4 0402   bis zero, r4, r2
+120000058:  c3ff fff4   br zero, 0x12000002c
+12000005c:  47e1 0400   bis zero, r1, r0
+120000060:  6bfa 8000   ret zero, (ra)
+120000064:  47ff 0402   bis zero, zero, r2
+120000068:  47f0 0401   bis zero, r16, r1
+12000006c:  47ff 0402   bis zero, zero, r2
+120000070:  4040 b9a3   cmplt r2, 5, r3
+120000074:  e460 000f   beq r3, 0x1200000b4
+120000078:  239d 8000   lda at, -32768(gp)
+12000007c:  4440 f004   and r2, 7, r4
+120000080:  409c 065c   s8addq r4, at, at
+120000084:  4022 0403   addq r1, r2, r3
+120000088:  b47c 0000   stq r3, 0(at)
+12000008c:  239d 8000   lda at, -32768(gp)
+120000090:  4820 3784   sra r1, 1, r4
+120000094:  4480 f004   and r4, 7, r4
+120000098:  409c 065c   s8addq r4, at, at
+12000009c:  a49c 0000   ldq r4, 0(at)
+1200000a0:  4024 0404   addq r1, r4, r4
+1200000a4:  47e4 0401   bis zero, r4, r1
+1200000a8:  4040 3404   addq r2, 1, r4
+1200000ac:  47e4 0402   bis zero, r4, r2
+1200000b0:  c3ff ffef   br zero, 0x120000070
+1200000b4:  47e1 0400   bis zero, r1, r0
+1200000b8:  6bfa 8000   ret zero, (ra)
+1200000bc:  23de ffe0   lda sp, -32(sp)
+1200000c0:  b75e 0000   stq ra, 0(sp)
+1200000c4:  b53e 0008   stq r9, 8(sp)
+1200000c8:  47f0 0409   bis zero, r16, r9
+1200000cc:  4d20 7401   mulq r9, 3, r1
+1200000d0:  b55e 0010   stq r10, 16(sp)
+1200000d4:  47f1 040a   bis zero, r17, r10
+1200000d8:  402a 0401   addq r1, r10, r1
+1200000dc:  47e1 0410   bis zero, r1, r16
+1200000e0:  b57e 0018   stq r11, 24(sp)
+1200000e4:  d35f ffdf   bsr ra, 0x120000064
+1200000e8:  4920 5722   sll r9, 2, r2
+1200000ec:  47e0 0401   bis zero, r0, r1
+1200000f0:  4422 0802   xor r1, r2, r2
+1200000f4:  47e2 040b   bis zero, r2, r11
+1200000f8:  453f f002   and r9, 255, r2
+1200000fc:  4049 b5a2   cmpeq r2, 77, r2
+120000100:  e440 0005   beq r2, 0x120000118
+120000104:  47ea 0410   bis zero, r10, r16
+120000108:  d35f ffc5   bsr ra, 0x120000020
+12000010c:  47e0 0402   bis zero, r0, r2
+120000110:  4162 0402   addq r11, r2, r2
+120000114:  47e2 040b   bis zero, r2, r11
+120000118:  47eb 0400   bis zero, r11, r0
+12000011c:  a75e 0000   ldq ra, 0(sp)
+120000120:  a53e 0008   ldq r9, 8(sp)
+120000124:  a55e 0010   ldq r10, 16(sp)
+120000128:  a57e 0018   ldq r11, 24(sp)
+12000012c:  23de 0020   lda sp, 32(sp)
+120000130:  6bfa 8000   ret zero, (ra)
+120000134:  0000 0000   .word 0x00000000
+120000138:  0000 0000   .word 0x00000000
+12000013c:  0000 0000   .word 0x00000000
+120000140:  47f0 0401   bis zero, r16, r1
+120000144:  4c22 3403   mulq r1, 17, r3
+120000148:  23de fff0   lda sp, -16(sp)
+12000014c:  47f1 0402   bis zero, r17, r2
+120000150:  b75e 0000   stq ra, 0(sp)
+120000154:  4062 0403   addq r3, r2, r3
+120000158:  b53e 0008   stq r9, 8(sp)
+12000015c:  47e3 0409   bis zero, r3, r9
+120000160:  4460 7003   and r3, 3, r3
+120000164:  4060 15a3   cmpeq r3, 0, r3
+120000168:  e460 0006   beq r3, 0x120000184
+12000016c:  47e2 0410   bis zero, r2, r16
+120000170:  47e1 0411   bis zero, r1, r17
+120000174:  d35f ffd1   bsr ra, 0x1200000bc
+120000178:  47e0 0403   bis zero, r0, r3
+12000017c:  4123 0403   addq r9, r3, r3
+120000180:  47e3 0409   bis zero, r3, r9
+120000184:  47e9 0400   bis zero, r9, r0
+120000188:  a75e 0000   ldq ra, 0(sp)
+12000018c:  a53e 0008   ldq r9, 8(sp)
+120000190:  23de 0010   lda sp, 16(sp)
+120000194:  6bfa 8000   ret zero, (ra)
+120000198:  0000 0000   .word 0x00000000
+12000019c:  0000 0000   .word 0x00000000
+1200001a0:  23de ffe0   lda sp, -32(sp)
+1200001a4:  b75e 0000   stq ra, 0(sp)
+1200001a8:  b53e 0008   stq r9, 8(sp)
+1200001ac:  b55e 0010   stq r10, 16(sp)
+1200001b0:  47ff 0409   bis zero, zero, r9
+1200001b4:  47ff 0409   bis zero, zero, r9
+1200001b8:  b57e 0018   stq r11, 24(sp)
+1200001bc:  215f 0001   lda r10, 1(zero)
+1200001c0:  4121 99a1   cmplt r9, 12, r1
+1200001c4:  e420 0013   beq r1, 0x120000214
+1200001c8:  273f 0001   ldah r25, 1(zero)
+1200001cc:  2339 ffff   lda r25, -1(r25)
+1200001d0:  4559 0001   and r10, r25, r1
+1200001d4:  47e9 0410   bis zero, r9, r16
+1200001d8:  47e1 0411   bis zero, r1, r17
+1200001dc:  d35f ffb7   bsr ra, 0x1200000bc
+1200001e0:  47e0 0401   bis zero, r0, r1
+1200001e4:  4141 040b   addq r10, r1, r11
+1200001e8:  457f f001   and r11, 255, r1
+1200001ec:  47eb 040a   bis zero, r11, r10
+1200001f0:  47e1 0410   bis zero, r1, r16
+1200001f4:  47e9 0411   bis zero, r9, r17
+1200001f8:  d35f ffd1   bsr ra, 0x120000140
+1200001fc:  47e0 0401   bis zero, r0, r1
+120000200:  4561 0801   xor r11, r1, r1
+120000204:  47e1 040a   bis zero, r1, r10
+120000208:  4120 3401   addq r9, 1, r1
+12000020c:  47e1 0409   bis zero, r1, r9
+120000210:  c3ff ffeb   br zero, 0x1200001c0
+120000214:  273f 0001   ldah r25, 1(zero)
+120000218:  2339 ffff   lda r25, -1(r25)
+12000021c:  4559 0001   and r10, r25, r1
+120000220:  a75e 0000   ldq ra, 0(sp)
+120000224:  a53e 0008   ldq r9, 8(sp)
+120000228:  a55e 0010   ldq r10, 16(sp)
+12000022c:  a57e 0018   ldq r11, 24(sp)
+120000230:  47e1 0400   bis zero, r1, r0
+120000234:  23de 0020   lda sp, 32(sp)
+120000238:  6bfa 8000   ret zero, (ra)

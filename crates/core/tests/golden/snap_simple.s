@@ -1,0 +1,159 @@
+120000000:  27bb 2001   ldah gp, 8193(pv)
+120000004:  23bd 8000   lda gp, -32768(gp)
+120000008:  a77d 8000   ldq pv, -32768(gp)
+12000000c:  d340 006c   bsr ra, 0x1200001c0
+120000010:  0000 0555   call_pal halt
+120000014:  27bb 2000   ldah gp, 8192(pv)
+120000018:  23bd 7fec   lda gp, 32748(gp)
+12000001c:  0000 0556   call_pal write_int
+120000020:  47f0 0400   bis zero, r16, r0
+120000024:  6bfa 8000   ret zero, (ra)
+120000028:  0000 0000   .word 0x00000000
+12000002c:  0000 0000   .word 0x00000000
+120000030:  47ff 0402   bis zero, zero, r2
+120000034:  47f0 0401   bis zero, r16, r1
+120000038:  47ff 0402   bis zero, zero, r2
+12000003c:  4041 39a3   cmplt r2, 9, r3
+120000040:  e460 000a   beq r3, 0x12000006c
+120000044:  4c20 7403   mulq r1, 3, r3
+120000048:  239d 8020   lda at, -32736(gp)
+12000004c:  4440 f004   and r2, 7, r4
+120000050:  409c 065c   s8addq r4, at, at
+120000054:  a49c 0000   ldq r4, 0(at)
+120000058:  4064 0404   addq r3, r4, r4
+12000005c:  47e4 0401   bis zero, r4, r1
+120000060:  4040 3404   addq r2, 1, r4
+120000064:  47e4 0402   bis zero, r4, r2
+120000068:  c3ff fff4   br zero, 0x12000003c
+12000006c:  47e1 0400   bis zero, r1, r0
+120000070:  6bfa 8000   ret zero, (ra)
+120000074:  47ff 0402   bis zero, zero, r2
+120000078:  47f0 0401   bis zero, r16, r1
+12000007c:  47ff 0402   bis zero, zero, r2
+120000080:  4040 b9a3   cmplt r2, 5, r3
+120000084:  e460 000f   beq r3, 0x1200000c4
+120000088:  239d 8020   lda at, -32736(gp)
+12000008c:  4440 f004   and r2, 7, r4
+120000090:  409c 065c   s8addq r4, at, at
+120000094:  4022 0403   addq r1, r2, r3
+120000098:  b47c 0000   stq r3, 0(at)
+12000009c:  239d 8020   lda at, -32736(gp)
+1200000a0:  4820 3784   sra r1, 1, r4
+1200000a4:  4480 f004   and r4, 7, r4
+1200000a8:  409c 065c   s8addq r4, at, at
+1200000ac:  a49c 0000   ldq r4, 0(at)
+1200000b0:  4024 0404   addq r1, r4, r4
+1200000b4:  47e4 0401   bis zero, r4, r1
+1200000b8:  4040 3404   addq r2, 1, r4
+1200000bc:  47e4 0402   bis zero, r4, r2
+1200000c0:  c3ff ffef   br zero, 0x120000080
+1200000c4:  47e1 0400   bis zero, r1, r0
+1200000c8:  6bfa 8000   ret zero, (ra)
+1200000cc:  23de ffe0   lda sp, -32(sp)
+1200000d0:  b75e 0000   stq ra, 0(sp)
+1200000d4:  b53e 0008   stq r9, 8(sp)
+1200000d8:  47f0 0409   bis zero, r16, r9
+1200000dc:  4d20 7401   mulq r9, 3, r1
+1200000e0:  b55e 0010   stq r10, 16(sp)
+1200000e4:  47f1 040a   bis zero, r17, r10
+1200000e8:  27bb 2000   ldah gp, 8192(pv)
+1200000ec:  402a 0401   addq r1, r10, r1
+1200000f0:  23bd 7f34   lda gp, 32564(gp)
+1200000f4:  47e1 0410   bis zero, r1, r16
+1200000f8:  b57e 0018   stq r11, 24(sp)
+1200000fc:  d35f ffdd   bsr ra, 0x120000074
+120000100:  4920 5722   sll r9, 2, r2
+120000104:  47e0 0401   bis zero, r0, r1
+120000108:  4422 0802   xor r1, r2, r2
+12000010c:  47e2 040b   bis zero, r2, r11
+120000110:  453f f002   and r9, 255, r2
+120000114:  4049 b5a2   cmpeq r2, 77, r2
+120000118:  e440 0005   beq r2, 0x120000130
+12000011c:  47ea 0410   bis zero, r10, r16
+120000120:  d35f ffc3   bsr ra, 0x120000030
+120000124:  47e0 0402   bis zero, r0, r2
+120000128:  4162 0402   addq r11, r2, r2
+12000012c:  47e2 040b   bis zero, r2, r11
+120000130:  47eb 0400   bis zero, r11, r0
+120000134:  a75e 0000   ldq ra, 0(sp)
+120000138:  a53e 0008   ldq r9, 8(sp)
+12000013c:  a55e 0010   ldq r10, 16(sp)
+120000140:  a57e 0018   ldq r11, 24(sp)
+120000144:  23de 0020   lda sp, 32(sp)
+120000148:  6bfa 8000   ret zero, (ra)
+12000014c:  0000 0000   .word 0x00000000
+120000150:  47f0 0401   bis zero, r16, r1
+120000154:  4c22 3403   mulq r1, 17, r3
+120000158:  23de fff0   lda sp, -16(sp)
+12000015c:  47f1 0402   bis zero, r17, r2
+120000160:  b75e 0000   stq ra, 0(sp)
+120000164:  4062 0403   addq r3, r2, r3
+120000168:  b53e 0008   stq r9, 8(sp)
+12000016c:  47e3 0409   bis zero, r3, r9
+120000170:  27bb 2000   ldah gp, 8192(pv)
+120000174:  4460 7003   and r3, 3, r3
+120000178:  23bd 7eb0   lda gp, 32432(gp)
+12000017c:  4060 15a3   cmpeq r3, 0, r3
+120000180:  e460 0009   beq r3, 0x1200001a8
+120000184:  a77d 8010   ldq pv, -32752(gp)
+120000188:  47e2 0410   bis zero, r2, r16
+12000018c:  47e1 0411   bis zero, r1, r17
+120000190:  d35f ffce   bsr ra, 0x1200000cc
+120000194:  47e0 0403   bis zero, r0, r3
+120000198:  47ff 041f   bis zero, zero, zero
+12000019c:  4123 0403   addq r9, r3, r3
+1200001a0:  47ff 041f   bis zero, zero, zero
+1200001a4:  47e3 0409   bis zero, r3, r9
+1200001a8:  47e9 0400   bis zero, r9, r0
+1200001ac:  a75e 0000   ldq ra, 0(sp)
+1200001b0:  a53e 0008   ldq r9, 8(sp)
+1200001b4:  23de 0010   lda sp, 16(sp)
+1200001b8:  6bfa 8000   ret zero, (ra)
+1200001bc:  0000 0000   .word 0x00000000
+1200001c0:  23de ffe0   lda sp, -32(sp)
+1200001c4:  b75e 0000   stq ra, 0(sp)
+1200001c8:  b53e 0008   stq r9, 8(sp)
+1200001cc:  b55e 0010   stq r10, 16(sp)
+1200001d0:  47ff 0409   bis zero, zero, r9
+1200001d4:  27bb 2000   ldah gp, 8192(pv)
+1200001d8:  47ff 0409   bis zero, zero, r9
+1200001dc:  23bd 7e40   lda gp, 32320(gp)
+1200001e0:  b57e 0018   stq r11, 24(sp)
+1200001e4:  215f 0001   lda r10, 1(zero)
+1200001e8:  4121 99a1   cmplt r9, 12, r1
+1200001ec:  e420 0019   beq r1, 0x120000254
+1200001f0:  273f 0001   ldah r25, 1(zero)
+1200001f4:  2339 ffff   lda r25, -1(r25)
+1200001f8:  a77d 8010   ldq pv, -32752(gp)
+1200001fc:  4559 0001   and r10, r25, r1
+120000200:  47e9 0410   bis zero, r9, r16
+120000204:  47e1 0411   bis zero, r1, r17
+120000208:  d35f ffb0   bsr ra, 0x1200000cc
+12000020c:  47ff 041f   bis zero, zero, zero
+120000210:  47e0 0401   bis zero, r0, r1
+120000214:  47ff 041f   bis zero, zero, zero
+120000218:  4141 040b   addq r10, r1, r11
+12000021c:  a77d 8018   ldq pv, -32744(gp)
+120000220:  457f f001   and r11, 255, r1
+120000224:  47eb 040a   bis zero, r11, r10
+120000228:  47e1 0410   bis zero, r1, r16
+12000022c:  47e9 0411   bis zero, r9, r17
+120000230:  d35f ffc7   bsr ra, 0x120000150
+120000234:  47e0 0401   bis zero, r0, r1
+120000238:  4561 0801   xor r11, r1, r1
+12000023c:  47e1 040a   bis zero, r1, r10
+120000240:  47ff 041f   bis zero, zero, zero
+120000244:  4120 3401   addq r9, 1, r1
+120000248:  47ff 041f   bis zero, zero, zero
+12000024c:  47e1 0409   bis zero, r1, r9
+120000250:  c3ff ffe5   br zero, 0x1200001e8
+120000254:  273f 0001   ldah r25, 1(zero)
+120000258:  2339 ffff   lda r25, -1(r25)
+12000025c:  4559 0001   and r10, r25, r1
+120000260:  a75e 0000   ldq ra, 0(sp)
+120000264:  a53e 0008   ldq r9, 8(sp)
+120000268:  a55e 0010   ldq r10, 16(sp)
+12000026c:  a57e 0018   ldq r11, 24(sp)
+120000270:  47e1 0400   bis zero, r1, r0
+120000274:  23de 0020   lda sp, 32(sp)
+120000278:  6bfa 8000   ret zero, (ra)

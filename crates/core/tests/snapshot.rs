@@ -1,0 +1,164 @@
+//! Golden-file disassembly snapshots: a tiny fixed multi-module program is
+//! linked at every OM level (plus the profile-guided variant) and the text
+//! segment's exact disassembly is compared against a committed golden file.
+//!
+//! Where the verifier sweep proves invariants, these snapshots pin the
+//! *artifact*: any change to instruction selection, an OM transformation,
+//! scheduling, alignment, or layout shows up as a concrete diff that must be
+//! reviewed and re-blessed — silent codegen drift cannot land.
+//!
+//! To re-bless after an intended change:
+//!
+//! ```text
+//! OM_BLESS=1 cargo test -p om-core --test snapshot
+//! ```
+
+use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_objfile::Module;
+use om_sim::{run_image, run_profiled};
+use std::path::PathBuf;
+
+/// Module `alpha`: a global array, a local (static) helper with a loop
+/// (backward-branch target), an exported entry that calls it, and a cold
+/// error path whose loop never executes — address loads, a GAT slot, an
+/// intra-module BSR, a local symbol name, and (for the PGO snapshot) a
+/// procedure that hot-first reordering must sink and a backward-branch
+/// target that loses its alignment claim.
+const SRC_ALPHA: &str = "\
+int ga[8];
+
+static int rare(int x) {
+  int i = 0;
+  int s = x;
+  for (i = 0; i < 9; i = i + 1) { s = s * 3 + ga[i & 7]; }
+  return s;
+}
+
+static int twiddle(int x) {
+  int i = 0;
+  int s = x;
+  for (i = 0; i < 5; i = i + 1) {
+    ga[i & 7] = s + i;
+    s = s + ga[(s >> 1) & 7];
+  }
+  return s;
+}
+
+int astep(int a, int b) {
+  int t = twiddle(a * 3 + b) ^ (a << 2);
+  if ((a & 0xFF) == 77) { t = t + rare(b); }
+  return t;
+}
+";
+
+/// Module `beta`: a second compilation unit so the link crosses module
+/// boundaries (JSR→BSR conversion, cross-module GP handling).
+const SRC_BETA: &str = "\
+extern int astep(int, int);
+
+int bmix(int a, int b) {
+  int t = a * 17 + b;
+  if ((t & 3) == 0) { t = t + astep(b, a); }
+  return t;
+}
+";
+
+const SRC_MAIN: &str = "\
+extern int astep(int, int);
+extern int bmix(int, int);
+
+int main() {
+  int i = 0;
+  int t = 1;
+  for (i = 0; i < 12; i = i + 1) {
+    t = t + astep(i, t & 0xFFFF);
+    t = t ^ bmix(t & 255, i);
+  }
+  return t & 0xFFFF;
+}
+";
+
+fn objects() -> Vec<Module> {
+    let opts = om_codegen::CompileOpts::o2();
+    vec![
+        om_codegen::crt0::module().expect("crt0"),
+        om_codegen::compile_source("alpha", SRC_ALPHA, &opts).expect("alpha"),
+        om_codegen::compile_source("beta", SRC_BETA, &opts).expect("beta"),
+        om_codegen::compile_source("snapmain", SRC_MAIN, &opts).expect("snapmain"),
+    ]
+}
+
+fn disasm(image: &om_linker::Image) -> String {
+    let text = &image.segments[0];
+    om_alpha::disasm::section(text.base, &text.bytes)
+}
+
+/// Compares `actual` against `tests/golden/<name>`, or rewrites the golden
+/// file when `OM_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("OM_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{name}: {e}\n(golden file missing? bless with OM_BLESS=1 cargo test -p om-core --test snapshot)")
+    });
+    if expected != actual {
+        let diff = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(k, (e, a))| format!("first diff at line {}:\n  golden: {e}\n  actual: {a}", k + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "one is a prefix of the other ({} vs {} lines)",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "{name}: disassembly drifted from golden snapshot\n{diff}\n\
+             (intended? re-bless with OM_BLESS=1 cargo test -p om-core --test snapshot)"
+        );
+    }
+}
+
+#[test]
+fn disassembly_matches_golden_at_every_level() {
+    let objects = objects();
+    let options = OmOptions { verify: true, ..OmOptions::default() };
+    let mut checksum = None;
+    for (level, name) in [
+        (OmLevel::None, "snap_none.s"),
+        (OmLevel::Simple, "snap_simple.s"),
+        (OmLevel::Full, "snap_full.s"),
+        (OmLevel::FullSched, "snap_full_sched.s"),
+    ] {
+        let out = optimize_and_link_with(&objects, &[], level, &options)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_golden(name, &disasm(&out.image));
+        // All levels must also agree on what the program computes.
+        let r = run_image(&out.image, 1_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+        match checksum {
+            None => checksum = Some(r.result),
+            Some(c) => assert_eq!(r.result, c, "{name}: checksum drifted"),
+        }
+    }
+}
+
+#[test]
+fn pgo_disassembly_matches_golden() {
+    let objects = objects();
+    let options = OmOptions { verify: true, ..OmOptions::default() };
+    let sched = optimize_and_link_with(&objects, &[], OmLevel::FullSched, &options)
+        .expect("sched link");
+    let (reference, profile) = run_profiled(&sched.image, 1_000_000).expect("profile run");
+    let popts = OmOptions { profile: Some(profile), ..options };
+    let out = optimize_and_link_with(&objects, &[], OmLevel::FullSched, &popts)
+        .expect("pgo link");
+    check_golden("snap_pgo.s", &disasm(&out.image));
+    let r = run_image(&out.image, 1_000_000).expect("pgo run");
+    assert_eq!(r.result, reference.result, "pgo relink changed the checksum");
+}

@@ -3,9 +3,18 @@
 //! This is the whole-program analogue of the per-invariant unit tests in
 //! `om_core::verify` — it proves the invariants hold on real compiler
 //! output, not just hand-built modules.
+//!
+//! The profile-guided sweep goes one step further: it runs each scheduled
+//! image, collects an execution profile, relinks with the profile (verify
+//! still on), and re-diffs the checksum — profile-guided layout must never
+//! change program meaning.
 
 use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_sim::{run_image, run_profiled};
 use om_workloads::{build::build, spec, CompileMode};
+
+/// Simulator instruction budget per run (quick-spec workloads are small).
+const SIM_STEPS: u64 = 200_000_000;
 
 #[test]
 fn verifier_passes_on_every_workload_mode_and_level() {
@@ -28,6 +37,35 @@ fn verifier_passes_on_every_workload_mode_and_level() {
                     level.name()
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn pgo_relink_verifies_and_preserves_checksums_on_every_workload() {
+    let options = OmOptions { verify: true, ..OmOptions::default() };
+    for s in spec::all() {
+        let quick = spec::quick(&s);
+        for mode in CompileMode::ALL {
+            let b = build(&quick, mode).expect("build");
+            let sched =
+                optimize_and_link_with(&b.objects, &b.libs, OmLevel::FullSched, &options)
+                    .unwrap_or_else(|e| panic!("{} [{}] sched: {e}", s.name, mode.name()));
+            let (reference, profile) = run_profiled(&sched.image, SIM_STEPS)
+                .unwrap_or_else(|e| panic!("{} [{}] profile run: {e}", s.name, mode.name()));
+            let popts = OmOptions { profile: Some(profile), ..options.clone() };
+            let pgo = optimize_and_link_with(&b.objects, &b.libs, OmLevel::FullSched, &popts)
+                .unwrap_or_else(|e| panic!("{} [{}] pgo: {e}", s.name, mode.name()));
+            assert!(pgo.verify.expect("verify requested").checks > 0);
+            let r = run_image(&pgo.image, SIM_STEPS)
+                .unwrap_or_else(|e| panic!("{} [{}] pgo run: {e}", s.name, mode.name()));
+            assert_eq!(
+                r.result,
+                reference.result,
+                "{} [{}]: pgo relink changed the checksum",
+                s.name,
+                mode.name()
+            );
         }
     }
 }

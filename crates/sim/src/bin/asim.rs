@@ -1,15 +1,17 @@
 //! `asim` — run an executable image on the simulated Alpha.
 //!
 //! ```text
-//! asim [--limit N] [--timing] [--disasm [SYMBOL]] IMAGE.exe
+//! asim [--limit N] [--timing] [--profile OUT.json] [--disasm [SYMBOL]] IMAGE.exe
 //! ```
 //!
 //! Prints the program's result (and its `__write_int` output); `--timing`
-//! adds the 21064-model cycle statistics; `--disasm` dumps the text segment
-//! (or one procedure) instead of running.
+//! adds the 21064-model cycle statistics; `--profile` additionally collects
+//! an execution profile (per-procedure counts, call edges, backward-branch
+//! targets) and writes it as JSON for `om --profile-use`; `--disasm` dumps
+//! the text segment (or one procedure) instead of running.
 
 use om_linker::Image;
-use om_sim::{run_image, run_timed};
+use om_sim::{Machine, NoTiming, Pipeline, ProfileObserver, Tee};
 use std::process::exit;
 
 /// Maps a program result to a process exit code without collisions: zero
@@ -43,6 +45,7 @@ mod tests {
 fn main() {
     let mut limit: u64 = 1_000_000_000;
     let mut timing = false;
+    let mut profile_path: Option<String> = None;
     let mut disasm: Option<Option<String>> = None;
     let mut path: Option<String> = None;
 
@@ -61,6 +64,18 @@ fn main() {
                     });
             }
             "--timing" => timing = true,
+            "--profile" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) if !p.is_empty() && !p.starts_with('-') => {
+                        profile_path = Some(p.clone());
+                    }
+                    _ => {
+                        eprintln!("asim: --profile needs an output path");
+                        exit(2);
+                    }
+                }
+            }
             "--disasm" => {
                 let next = args.get(i + 1);
                 if let Some(sym) = next.filter(|s| !s.starts_with('-') && !s.ends_with(".exe")) {
@@ -88,7 +103,9 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: asim [--limit N] [--timing] [--disasm [SYMBOL]] IMAGE.exe");
+        eprintln!(
+            "usage: asim [--limit N] [--timing] [--profile OUT.json] [--disasm [SYMBOL]] IMAGE.exe"
+        );
         exit(2);
     };
 
@@ -129,44 +146,60 @@ fn main() {
         return;
     }
 
-    if timing {
-        match run_timed(&image, limit) {
-            Ok((r, t)) => {
-                for v in &r.output {
-                    println!("{v}");
-                }
-                eprintln!(
-                    "asim: result {} | {} insts, {} cycles ({:.2} IPC), {} dual-issued, {} nops",
-                    r.result,
-                    t.insts,
-                    t.cycles,
-                    t.insts as f64 / t.cycles.max(1) as f64,
-                    t.dual_issued,
-                    t.nops
-                );
-                eprintln!(
-                    "asim: icache {} misses | dcache {} misses",
-                    t.icache_misses, t.dcache_misses
-                );
-                exit(exit_code(r.result));
-            }
-            Err(e) => {
-                eprintln!("asim: {e}");
-                exit(1);
-            }
+    // One simulated run feeds every requested observer (timing, profile, or
+    // both via a tee), so the flags compose without re-executing.
+    let mut pipe = Pipeline::default();
+    let mut prof = profile_path.as_ref().map(|_| ProfileObserver::new(&image));
+    let run = (|| {
+        let mut machine = Machine::load(&image)?;
+        match (timing, prof.as_mut()) {
+            (false, None) => machine.run(limit, &mut NoTiming),
+            (true, None) => machine.run(limit, &mut pipe),
+            (false, Some(p)) => machine.run(limit, p),
+            (true, Some(p)) => machine.run(limit, &mut Tee { a: &mut pipe, b: p }),
         }
-    }
-    match run_image(&image, limit) {
-        Ok(r) => {
-            for v in &r.output {
-                println!("{v}");
-            }
-            eprintln!("asim: result {} ({} instructions)", r.result, r.insts);
-            exit(exit_code(r.result));
-        }
+    })();
+    let r = match run {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("asim: {e}");
             exit(1);
         }
+    };
+
+    if let (Some(out), Some(obs)) = (&profile_path, prof.take()) {
+        let profile = obs.finish();
+        if let Err(e) = std::fs::write(out, profile.to_json()) {
+            eprintln!("asim: cannot write {out}: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "asim: wrote profile {out} ({} procs, {} insts)",
+            profile.procs.len(),
+            profile.total_insts
+        );
     }
+
+    for v in &r.output {
+        println!("{v}");
+    }
+    if timing {
+        let t = pipe.stats();
+        eprintln!(
+            "asim: result {} | {} insts, {} cycles ({:.2} IPC), {} dual-issued, {} nops",
+            r.result,
+            t.insts,
+            t.cycles,
+            t.insts as f64 / t.cycles.max(1) as f64,
+            t.dual_issued,
+            t.nops
+        );
+        eprintln!(
+            "asim: icache {} misses | dcache {} misses",
+            t.icache_misses, t.dcache_misses
+        );
+    } else {
+        eprintln!("asim: result {} ({} instructions)", r.result, r.insts);
+    }
+    exit(exit_code(r.result));
 }

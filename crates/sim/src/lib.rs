@@ -31,12 +31,15 @@
 
 pub mod exec;
 pub mod mem;
+pub mod profile;
 pub mod timing;
 
 pub use exec::{run_image, ExecError, Machine, NoTiming, Observer, Retired, RunResult};
 pub use mem::{Fault, Mem, STACK_BASE, STACK_SIZE, STACK_TOP};
+pub use profile::{ProfileObserver, Tee};
 pub use timing::{Cache, Pipeline, TimingStats};
 
+use om_core::profile::Profile;
 use om_linker::Image;
 
 /// Runs `image` with the default 21064-class timing model.
@@ -50,4 +53,19 @@ pub fn run_timed(image: &Image, limit: u64) -> Result<(RunResult, TimingStats), 
     let mut machine = Machine::load(image)?;
     let result = machine.run(limit, &mut pipe)?;
     Ok((result, pipe.stats()))
+}
+
+/// Runs `image` functionally while collecting an execution [`Profile`]
+/// (per-procedure instruction and call counts, call edges, backward-branch
+/// target executions) for profile-guided relinking.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on faults or when `limit` instructions retire
+/// without reaching HALT.
+pub fn run_profiled(image: &Image, limit: u64) -> Result<(RunResult, Profile), ExecError> {
+    let mut obs = ProfileObserver::new(image);
+    let mut machine = Machine::load(image)?;
+    let result = machine.run(limit, &mut obs)?;
+    Ok((result, obs.finish()))
 }

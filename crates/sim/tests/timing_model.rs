@@ -1,0 +1,175 @@
+//! Hand-computed cycle counts for the 21064-class timing model.
+//!
+//! Unlike the relative assertions in `om_sim::timing`'s unit tests, every
+//! test here pins an *exact* total derived by tracing the model's rules by
+//! hand, so any change to the pairing rule, a latency, a cache penalty, or
+//! the branch bubble shows up as a concrete number, not a direction.
+//!
+//! Model parameters (the defaults): 8KB direct-mapped I- and D-caches with
+//! 32-byte lines and an 8-cycle miss penalty, dual issue only within an
+//! 8-byte-aligned quadword, 3-cycle load latency, 21-cycle multiply,
+//! 1-cycle taken-branch bubble.
+
+use om_alpha::{BrOp, Inst, Operand, OprOp, Reg};
+use om_sim::{Observer, Pipeline, Retired};
+
+fn retire(p: &mut Pipeline, pc: u64, inst: Inst) {
+    p.retire(&Retired { pc, inst, ea: None, taken: false });
+}
+
+fn retire_load(p: &mut Pipeline, pc: u64, inst: Inst, ea: u64) {
+    p.retire(&Retired { pc, inst, ea: Some(ea), taken: false });
+}
+
+fn addq(ra: Reg, rc: Reg) -> Inst {
+    Inst::Opr { op: OprOp::Addq, ra, rb: Operand::Reg(ra), rc }
+}
+
+#[test]
+fn aligned_int_mem_pair_costs_eight_cycles() {
+    // mov @ 0x1000: compulsory I-miss (8), issues at cycle 8.
+    // lda @ 0x1004: same quadword, 0x1000 is 8-aligned, IntOp+Mem pair,
+    //               operands ready — dual-issues at cycle 8.
+    let mut p = Pipeline::default();
+    retire(&mut p, 0x1000, Inst::mov(Reg::new(1), Reg::new(2)));
+    retire(&mut p, 0x1004, Inst::lda(Reg::new(3), 0, Reg::SP));
+    let t = p.stats();
+    assert_eq!(t.cycles, 8);
+    assert_eq!(t.dual_issued, 1);
+    assert_eq!(t.icache_misses, 1);
+}
+
+#[test]
+fn misaligned_pair_costs_nine_cycles() {
+    // The same two instructions shifted by 4 bytes: 0x1004 is not 8-aligned,
+    // so the quadword rule forbids pairing and the lda issues one cycle
+    // later (cycle 9). The one extra cycle is exactly what a quadword-
+    // alignment UNOP buys back at a hot branch target.
+    let mut p = Pipeline::default();
+    retire(&mut p, 0x1004, Inst::mov(Reg::new(1), Reg::new(2)));
+    retire(&mut p, 0x1008, Inst::lda(Reg::new(3), 0, Reg::SP));
+    let t = p.stats();
+    assert_eq!(t.cycles, 9);
+    assert_eq!(t.dual_issued, 0);
+}
+
+#[test]
+fn same_pipe_pair_never_dual_issues() {
+    // Two IntOps in one aligned quadword: compatible addresses but the same
+    // E-box pipe, so no pairing — 9 cycles, like the misaligned case.
+    let mut p = Pipeline::default();
+    retire(&mut p, 0x1000, Inst::mov(Reg::new(1), Reg::new(2)));
+    retire(&mut p, 0x1004, Inst::mov(Reg::new(3), Reg::new(4)));
+    let t = p.stats();
+    assert_eq!(t.cycles, 9);
+    assert_eq!(t.dual_issued, 0);
+}
+
+#[test]
+fn dependent_load_use_costs_nineteen_cycles() {
+    // ldq @ 0x1000: I-miss (8) → issues at 8; D-miss adds 8 to the 3-cycle
+    // load latency, so r1 is ready at 8 + 3 + 8 = 19.
+    // addq r1 @ 0x1004: waits for r1 — issues at cycle 19.
+    let mut p = Pipeline::default();
+    retire_load(&mut p, 0x1000, Inst::ldq(Reg::new(1), 0, Reg::SP), 0x2000);
+    retire(&mut p, 0x1004, addq(Reg::new(1), Reg::new(2)));
+    let t = p.stats();
+    assert_eq!(t.cycles, 19);
+    assert_eq!(t.dual_issued, 0);
+    assert_eq!(t.dcache_misses, 1);
+}
+
+#[test]
+fn independent_use_pairs_with_the_load() {
+    // Same shape, but the addq reads r3, not the loaded r1: nothing to wait
+    // for, Mem+IntOp pair in the aligned quadword — both issue at cycle 8.
+    // Removing a load-use dependence is worth 11 cycles here (19 → 8).
+    let mut p = Pipeline::default();
+    retire_load(&mut p, 0x1000, Inst::ldq(Reg::new(1), 0, Reg::SP), 0x2000);
+    retire(&mut p, 0x1004, addq(Reg::new(3), Reg::new(2)));
+    let t = p.stats();
+    assert_eq!(t.cycles, 8);
+    assert_eq!(t.dual_issued, 1);
+}
+
+#[test]
+fn taken_branch_to_aligned_target_costs_nine_cycles() {
+    // br @ 0x1000: I-miss (8) → issues at 8; taken, so the 1-cycle fetch
+    // bubble puts the machine at cycle 9 and breaks the pairing window.
+    // mov @ 0x1010 (same I-line): issues at 9; lda @ 0x1014 pairs with it
+    // because the target quadword is 8-aligned. Total: 9 cycles.
+    let mut p = Pipeline::default();
+    p.retire(&Retired {
+        pc: 0x1000,
+        inst: Inst::Br { op: BrOp::Br, ra: Reg::ZERO, disp: 3 },
+        ea: None,
+        taken: true,
+    });
+    retire(&mut p, 0x1010, Inst::mov(Reg::new(1), Reg::new(2)));
+    retire(&mut p, 0x1014, Inst::lda(Reg::new(3), 0, Reg::SP));
+    let t = p.stats();
+    assert_eq!(t.cycles, 9);
+    assert_eq!(t.dual_issued, 1);
+}
+
+#[test]
+fn taken_branch_to_misaligned_target_costs_ten_cycles() {
+    // Identical, but the target lands mid-quadword (0x100C): the pair
+    // straddles quadwords, cannot dual-issue, and the second instruction
+    // slips to cycle 10. The 1-cycle delta against the aligned case is the
+    // branch-target alignment penalty OM's scheduler removes with UNOPs.
+    let mut p = Pipeline::default();
+    p.retire(&Retired {
+        pc: 0x1000,
+        inst: Inst::Br { op: BrOp::Br, ra: Reg::ZERO, disp: 2 },
+        ea: None,
+        taken: true,
+    });
+    retire(&mut p, 0x100C, Inst::mov(Reg::new(1), Reg::new(2)));
+    retire(&mut p, 0x1010, Inst::lda(Reg::new(3), 0, Reg::SP));
+    let t = p.stats();
+    assert_eq!(t.cycles, 10);
+    assert_eq!(t.dual_issued, 0);
+}
+
+#[test]
+fn multiply_latency_stalls_dependent_use_to_cycle_twenty_nine() {
+    // mulq @ 0x1000 issues at 8 (compulsory I-miss) with a 21-cycle result
+    // latency → r1 ready at 29; the dependent addq issues exactly then.
+    let mut p = Pipeline::default();
+    retire(
+        &mut p,
+        0x1000,
+        Inst::Opr {
+            op: OprOp::Mulq,
+            ra: Reg::new(1),
+            rb: Operand::Reg(Reg::new(2)),
+            rc: Reg::new(1),
+        },
+    );
+    retire(&mut p, 0x1004, addq(Reg::new(1), Reg::new(2)));
+    let t = p.stats();
+    assert_eq!(t.cycles, 29);
+}
+
+#[test]
+fn icache_line_reuse_is_free_after_the_compulsory_miss() {
+    // Nine single-issue IntOps: eight fill the 32-byte line at 0x1000, the
+    // ninth opens the next line. One compulsory miss per line; every other
+    // fetch is free.
+    //
+    // pc 0x1000: miss, issue 8.         pc 0x1010: hit, issue 12.
+    // pc 0x1004: hit,  issue 9.         pc 0x1014: hit, issue 13.
+    // pc 0x1008: hit,  issue 10.        pc 0x1018: hit, issue 14.
+    // pc 0x100C: hit,  issue 11.        pc 0x101C: hit, issue 15.
+    // pc 0x1020: miss → issue = 15 + 8 = 23, then +1 for in-order single
+    //            issue does not apply (issue != cycle), so cycle = 23.
+    let mut p = Pipeline::default();
+    for k in 0..9u64 {
+        retire(&mut p, 0x1000 + 4 * k, Inst::mov(Reg::new(1), Reg::new(2)));
+    }
+    let t = p.stats();
+    assert_eq!(t.cycles, 23);
+    assert_eq!(t.icache_misses, 2);
+    assert_eq!(t.dual_issued, 0);
+}

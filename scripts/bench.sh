@@ -27,6 +27,20 @@ filter() {
     grep '"bench"' "$1" | grep -v '"fig":"fig7"'
 }
 
+# Coverage: every variant the harness is supposed to measure must actually
+# appear in the run — a silently skipped figure would otherwise shrink the
+# diff instead of failing it.
+for fig in fig3 fig4 fig5 fig6 gat pgo; do
+    if ! grep -q "\"fig\":\"$fig\"" "$json"; then
+        echo "FAIL: run produced no $fig rows" >&2
+        exit 1
+    fi
+done
+if ! grep '"fig":"pgo"' "$json" | grep -q '"pgo_cycles_each"'; then
+    echo "FAIL: pgo rows are missing cycle fields" >&2
+    exit 1
+fi
+
 filter "$json" >"$out"
 if ! filter "$baseline" | diff -u - "$out"; then
     echo "FAIL: figure rows drifted from $baseline" >&2

@@ -15,6 +15,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== golden disassembly snapshots =="
+cargo test -q -p om-core --test snapshot
+
+echo "== PGO differential sweep (profile -> relink -> re-diff checksums) =="
+cargo test -q -p om-core --test verify_all pgo_relink
+
 echo "== figure drift =="
 scripts/bench.sh
 
