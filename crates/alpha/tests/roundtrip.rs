@@ -126,6 +126,90 @@ fn any_inst(rng: &mut StdRng) -> Inst {
     }
 }
 
+/// Signed-boundary displacements for the 16-bit memory format.
+const MEM_DISPS: [i16; 8] = [i16::MIN, i16::MIN + 1, -2, -1, 0, 1, i16::MAX - 1, i16::MAX];
+
+/// Signed-boundary word displacements for the 21-bit branch format.
+const BR_DISPS: [i32; 8] = [
+    -(1 << 20),
+    -(1 << 20) + 1,
+    -2,
+    -1,
+    0,
+    1,
+    (1 << 20) - 2,
+    (1 << 20) - 1,
+];
+
+/// Boundary-biased operand sampling: half the time an extreme value, half
+/// the time uniform — so every case mixes corner operands with ordinary
+/// ones instead of waiting for uniform sampling to land on a boundary.
+fn edge_inst(rng: &mut StdRng) -> Inst {
+    let mem_disp = |rng: &mut StdRng| {
+        if rng.gen_bool(0.5) {
+            MEM_DISPS[rng.gen_range(0..MEM_DISPS.len())]
+        } else {
+            rng.gen_range(i16::MIN as i32..i16::MAX as i32 + 1) as i16
+        }
+    };
+    let br_disp = |rng: &mut StdRng| {
+        if rng.gen_bool(0.5) {
+            BR_DISPS[rng.gen_range(0..BR_DISPS.len())]
+        } else {
+            rng.gen_range(-(1i32 << 20)..(1i32 << 20))
+        }
+    };
+    let lit = |rng: &mut StdRng| {
+        if rng.gen_bool(0.5) {
+            [0u8, 1, 254, 255][rng.gen_range(0..4usize)]
+        } else {
+            rng.gen_range(0u16..256) as u8
+        }
+    };
+    let hint = |rng: &mut StdRng| {
+        if rng.gen_bool(0.5) {
+            [0u16, 1, (1 << 14) - 2, (1 << 14) - 1][rng.gen_range(0..4usize)]
+        } else {
+            rng.gen_range(0u16..1 << 14)
+        }
+    };
+    match rng.gen_range(0..5u32) {
+        0 => Inst::Mem {
+            op: MEM_OPS[rng.gen_range(0..MEM_OPS.len())],
+            ra: any_reg(rng),
+            rb: any_reg(rng),
+            disp: mem_disp(rng),
+        },
+        1 => Inst::Br {
+            op: BR_OPS[rng.gen_range(0..BR_OPS.len())],
+            ra: any_reg(rng),
+            disp: br_disp(rng),
+        },
+        2 => Inst::Jmp {
+            op: [JmpOp::Jmp, JmpOp::Jsr, JmpOp::Ret][rng.gen_range(0..3usize)],
+            ra: any_reg(rng),
+            rb: any_reg(rng),
+            hint: hint(rng),
+        },
+        3 => Inst::Opr {
+            op: OPR_OPS[rng.gen_range(0..OPR_OPS.len())],
+            ra: any_reg(rng),
+            rb: if rng.gen_bool(0.5) {
+                Operand::Reg(any_reg(rng))
+            } else {
+                Operand::Lit(lit(rng))
+            },
+            rc: any_reg(rng),
+        },
+        _ => Inst::FOpr {
+            op: FOPR_OPS[rng.gen_range(0..FOPR_OPS.len())],
+            fa: any_reg(rng),
+            fb: any_reg(rng),
+            fc: any_reg(rng),
+        },
+    }
+}
+
 #[test]
 fn encode_decode_roundtrip() {
     let mut rng = StdRng::seed_from_u64(0x0A11_CE5);
@@ -133,6 +217,67 @@ fn encode_decode_roundtrip() {
         let inst = any_inst(&mut rng);
         let word = encode(inst);
         assert_eq!(decode(word), Ok(inst), "word {word:#010x}");
+    }
+}
+
+#[test]
+fn boundary_displacements_roundtrip_exhaustively() {
+    // Every op × every boundary displacement, deterministically — the
+    // corners mutation harnesses flip bits around must be pinned exactly,
+    // not left to uniform sampling.
+    for &op in &MEM_OPS {
+        for &disp in &MEM_DISPS {
+            for ra in [0u8, 15, 31] {
+                let inst = Inst::Mem { op, ra: Reg::new(ra), rb: Reg::new(31 - ra), disp };
+                let word = encode(inst);
+                assert_eq!(decode(word), Ok(inst), "word {word:#010x}");
+            }
+        }
+    }
+    for &op in &BR_OPS {
+        for &disp in &BR_DISPS {
+            let inst = Inst::Br { op, ra: Reg::new(26), disp };
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(inst), "word {word:#010x}");
+        }
+    }
+}
+
+#[test]
+fn every_register_number_roundtrips_in_every_field() {
+    // Each of the 32 register numbers through each encodable field slot,
+    // including R31/F31 (whose reads are architecturally zero but whose
+    // *encoding* must still be preserved bit-exactly).
+    for r in 0u8..32 {
+        let reg = Reg::new(r);
+        let other = Reg::new((r + 7) % 32);
+        let cases = [
+            Inst::Mem { op: MemOp::Ldq, ra: reg, rb: other, disp: -8 },
+            Inst::Mem { op: MemOp::Stq, ra: other, rb: reg, disp: 8 },
+            Inst::Br { op: BrOp::Bne, ra: reg, disp: -1 },
+            Inst::Jmp { op: JmpOp::Jsr, ra: reg, rb: other, hint: 0x1FFF },
+            Inst::Jmp { op: JmpOp::Jmp, ra: other, rb: reg, hint: 0 },
+            Inst::Opr { op: OprOp::Addq, ra: reg, rb: Operand::Reg(other), rc: other },
+            Inst::Opr { op: OprOp::Xor, ra: other, rb: Operand::Reg(reg), rc: other },
+            Inst::Opr { op: OprOp::Subq, ra: other, rb: Operand::Lit(255), rc: reg },
+            Inst::FOpr { op: FOprOp::Addt, fa: reg, fb: other, fc: other },
+            Inst::FOpr { op: FOprOp::Mult, fa: other, fb: reg, fc: other },
+            Inst::FOpr { op: FOprOp::Cpys, fa: other, fb: other, fc: reg },
+        ];
+        for inst in cases {
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(inst), "r{r}: word {word:#010x}");
+        }
+    }
+}
+
+#[test]
+fn boundary_biased_sweep_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xB0_0B5_EED);
+    for case in 0..50_000 {
+        let inst = edge_inst(&mut rng);
+        let word = encode(inst);
+        assert_eq!(decode(word), Ok(inst), "case {case}: word {word:#010x}");
     }
 }
 

@@ -1,22 +1,29 @@
 //! `omfuzz` — differential fuzzing of the OM pipeline.
 //!
 //! ```text
-//! omfuzz [--seeds N] [--start S] [--out DIR] [--modules N] [--procs N] [--stmts N]
+//! omfuzz [--seeds N] [--start S] [--jobs N] [--out DIR]
+//!        [--modules N] [--procs N] [--stmts N]
 //! ```
 //!
 //! Each seed generates a random mini-C program, runs the mini-C interpreter
 //! as the reference, then builds and simulates all 8 `(compile mode × OM
 //! level)` variants plus a profile-guided relink per mode (9 in all), each
-//! with the linked-image verifier enabled, comparing checksums. Failures are shrunk (modules → procedures → statements) and a
-//! minimized repro file is written to `--out` (default `target/omfuzz`).
-//! Exits 1 if any seed failed.
+//! with the linked-image verifier enabled, comparing checksums. Seeds are
+//! checked in parallel on the shared `om_bench::par` pool (`--jobs`,
+//! defaulting to the machine's parallelism); output and repro files are
+//! identical at any width because results are reported in seed order.
+//! Failures are shrunk (modules → procedures → statements) and a minimized
+//! repro file is written to `--out` (default `target/omfuzz`). Exits 1 if
+//! any seed failed.
 
 use om_bench::fuzz::{check, generate, shrink, write_repro, FuzzConfig, Outcome};
+use om_bench::par::{default_jobs, parallel_map};
 use std::process::exit;
 
 fn main() {
     let mut seeds: u64 = 100;
     let mut start: u64 = 0;
+    let mut jobs: usize = default_jobs();
     let mut out_dir = String::from("target/omfuzz");
     let mut cfg = FuzzConfig::default();
 
@@ -31,6 +38,10 @@ fn main() {
             "--start" => {
                 i += 1;
                 start = parse_num(args.get(i), "--start");
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = (parse_num(args.get(i), "--jobs") as usize).max(1);
             }
             "--modules" => {
                 i += 1;
@@ -54,7 +65,7 @@ fn main() {
             other => {
                 eprintln!("omfuzz: unknown option {other}");
                 eprintln!(
-                    "usage: omfuzz [--seeds N] [--start S] [--out DIR] \
+                    "usage: omfuzz [--seeds N] [--start S] [--jobs N] [--out DIR] \
                      [--modules N] [--procs N] [--stmts N]"
                 );
                 exit(2);
@@ -62,51 +73,57 @@ fn main() {
         }
         i += 1;
     }
+
+    let all_seeds: Vec<u64> = (start..start + seeds).collect();
     let mut passed = 0u64;
     let mut skipped = 0u64;
     let mut failures: Vec<u64> = Vec::new();
-    for seed in start..start + seeds {
-        let prog = generate(seed, &cfg);
-        match check(&prog) {
-            Outcome::Pass => passed += 1,
-            Outcome::Skip(why) => {
-                skipped += 1;
-                eprintln!("omfuzz: seed {seed}: skipped ({why})");
-            }
-            outcome @ Outcome::Fail { .. } => {
-                eprintln!("omfuzz: seed {seed}: FAILED, shrinking…");
-                let small = shrink(prog, 300);
-                let final_outcome = check(&small);
-                let report = match &final_outcome {
-                    Outcome::Fail { .. } => write_repro(&small, &final_outcome),
-                    // Shrinking should preserve failure, but never lose the
-                    // original if it somehow does not.
-                    _ => write_repro(&small, &outcome),
-                };
-                if let Err(e) = std::fs::create_dir_all(&out_dir) {
-                    eprintln!("omfuzz: cannot create {out_dir}: {e}");
-                } else {
-                    let path = format!("{out_dir}/repro_{seed}.mc");
-                    match std::fs::write(&path, report) {
-                        Ok(()) => eprintln!("omfuzz: seed {seed}: repro written to {path}"),
-                        Err(e) => eprintln!("omfuzz: cannot write {path}: {e}"),
-                    }
+
+    // Check seeds in parallel, in chunks so progress still prints; shrink
+    // failures serially afterwards (shrinking re-runs the pipeline many
+    // times and is itself the bottleneck — one failure at a time keeps the
+    // repro output readable).
+    for chunk in all_seeds.chunks(jobs.max(1) * 4) {
+        let outcomes = parallel_map(jobs, chunk, |&seed| check(&generate(seed, &cfg)));
+        for (&seed, outcome) in chunk.iter().zip(outcomes) {
+            match outcome {
+                Outcome::Pass => passed += 1,
+                Outcome::Skip(why) => {
+                    skipped += 1;
+                    eprintln!("omfuzz: seed {seed}: skipped ({why})");
                 }
-                if let Outcome::Fail { mismatches, .. } = &outcome {
-                    for m in mismatches {
-                        eprintln!("omfuzz:   {}: {}", m.variant, m.detail);
+                outcome @ Outcome::Fail { .. } => {
+                    eprintln!("omfuzz: seed {seed}: FAILED, shrinking…");
+                    let small = shrink(generate(seed, &cfg), 300);
+                    let final_outcome = check(&small);
+                    let report = match &final_outcome {
+                        Outcome::Fail { .. } => write_repro(&small, &final_outcome),
+                        // Shrinking should preserve failure, but never lose
+                        // the original if it somehow does not.
+                        _ => write_repro(&small, &outcome),
+                    };
+                    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                        eprintln!("omfuzz: cannot create {out_dir}: {e}");
+                    } else {
+                        let path = format!("{out_dir}/repro_{seed}.mc");
+                        match std::fs::write(&path, report) {
+                            Ok(()) => eprintln!("omfuzz: seed {seed}: repro written to {path}"),
+                            Err(e) => eprintln!("omfuzz: cannot write {path}: {e}"),
+                        }
                     }
+                    if let Outcome::Fail { mismatches, .. } = &outcome {
+                        for m in mismatches {
+                            eprintln!("omfuzz:   {}: {}", m.variant, m.detail);
+                        }
+                    }
+                    failures.push(seed);
                 }
-                failures.push(seed);
             }
         }
-        if (seed - start + 1) % 25 == 0 {
+        let done = chunk.last().copied().unwrap_or(start) - start + 1;
+        if done < seeds {
             eprintln!(
-                "omfuzz: {}/{} seeds ({} passed, {} skipped, {} failed)",
-                seed - start + 1,
-                seeds,
-                passed,
-                skipped,
+                "omfuzz: {done}/{seeds} seeds ({passed} passed, {skipped} skipped, {} failed)",
                 failures.len()
             );
         }

@@ -1,0 +1,159 @@
+//! `omkill` — mutation-kill campaign over the OM safety nets.
+//!
+//! ```text
+//! omkill [--seeds a,b,c] [--sites N] [--mutants N] [--jobs N] [--out PATH]
+//!        [--check BASELINE] [--update-baseline PATH]
+//! ```
+//!
+//! Builds the deterministic mutant corpus (see `om_bench::mutate`), runs
+//! every oracle against every mutant, and prints the per-class kill
+//! scorecard. `--out` writes the scorecard JSON; `--update-baseline` writes
+//! it as the committed expectations; `--check` compares against a committed
+//! baseline and exits 1 on any regression (a previously-killed class now
+//! escaping, or a kill-rate drop). Exits 1 as well if any mutant escapes
+//! every oracle while `--check` is not in use.
+
+use om_bench::mutate::{
+    check_against, parse_baseline, render_json, run_campaign, scorecard, DEFAULT_SEEDS,
+    SITES_PER_CLASS,
+};
+use om_bench::par::default_jobs;
+use std::process::exit;
+
+fn main() {
+    let mut seeds: Vec<u64> = DEFAULT_SEEDS.to_vec();
+    let mut sites: usize = SITES_PER_CLASS;
+    let mut max_mutants: usize = usize::MAX;
+    let mut jobs: usize = default_jobs();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut update: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_default();
+                seeds = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("omkill: --seeds needs comma-separated numbers");
+                            exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--sites" => {
+                i += 1;
+                sites = parse_num(args.get(i), "--sites");
+            }
+            "--mutants" => {
+                i += 1;
+                max_mutants = parse_num(args.get(i), "--mutants");
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = parse_num(args.get(i), "--jobs").max(1);
+            }
+            "--out" => {
+                i += 1;
+                out = Some(required_path(args.get(i), "--out"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(required_path(args.get(i), "--check"));
+            }
+            "--update-baseline" => {
+                i += 1;
+                update = Some(required_path(args.get(i), "--update-baseline"));
+            }
+            other => {
+                eprintln!("omkill: unknown option {other}");
+                eprintln!(
+                    "usage: omkill [--seeds a,b,c] [--sites N] [--mutants N] [--jobs N] \
+                     [--out PATH] [--check BASELINE] [--update-baseline PATH]"
+                );
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "omkill: {} seeds x {sites} sites on {jobs} jobs…",
+        seeds.len()
+    );
+    let rows = match run_campaign(&seeds, sites, max_mutants, jobs) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("omkill: corpus build failed: {e}");
+            exit(2);
+        }
+    };
+    let card = scorecard(rows);
+
+    eprintln!(
+        "omkill: {} mutants, {} killed, {} escaped",
+        card.mutants, card.killed, card.escaped
+    );
+    eprintln!("omkill: {:<18} {:>5} {:>6} {:>8} {:>6} {:>7}", "class", "total", "verify", "checksum", "interp", "escaped");
+    for c in &card.classes {
+        eprintln!(
+            "omkill: {:<18} {:>5} {:>6} {:>8} {:>6} {:>7}",
+            c.class, c.total, c.verify, c.checksum, c.interp, c.escaped
+        );
+    }
+    for r in card.rows.iter().filter(|r| !r.killed()) {
+        eprintln!("omkill: ESCAPED {} seed {} site {}: {}", r.class, r.seed, r.site, r.detail);
+    }
+
+    let json = render_json(&card);
+    for path in out.iter().chain(update.iter()) {
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("omkill: scorecard written to {path}"),
+            Err(e) => {
+                eprintln!("omkill: cannot write {path}: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("omkill: cannot read baseline {path}: {e}");
+            exit(2);
+        });
+        let base = parse_baseline(&text).unwrap_or_else(|e| {
+            eprintln!("omkill: bad baseline {path}: {e}");
+            exit(2);
+        });
+        let regressions = check_against(&card, &base);
+        if regressions.is_empty() {
+            eprintln!("omkill: baseline check passed ({path})");
+        } else {
+            for r in &regressions {
+                eprintln!("omkill: REGRESSION: {r}");
+            }
+            exit(1);
+        }
+    } else if card.escaped > 0 && update.is_none() {
+        exit(1);
+    }
+}
+
+fn parse_num(arg: Option<&String>, flag: &str) -> usize {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("omkill: {flag} needs a number");
+        exit(2);
+    })
+}
+
+fn required_path(arg: Option<&String>, flag: &str) -> String {
+    arg.cloned().unwrap_or_else(|| {
+        eprintln!("omkill: {flag} needs a path");
+        exit(2);
+    })
+}

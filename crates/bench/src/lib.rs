@@ -23,6 +23,7 @@
 pub mod figures;
 pub mod fuzz;
 pub mod json;
+pub mod mutate;
 pub mod par;
 pub mod render;
 

@@ -1,0 +1,62 @@
+//! Tier-1 mutation-kill smoke: a bounded, fixed slice of the `omkill`
+//! corpus runs on every `cargo test`, pinning that (a) the harness stays
+//! deterministic at any worker count and (b) no mutant in the slice escapes
+//! every oracle. The committed `MUTANTS_baseline.json` is additionally
+//! checked against the acceptance floor (>= 60 mutants, >= 10 classes,
+//! zero escapes), so a stale or hand-edited baseline fails here rather
+//! than silently weakening the CI gate.
+
+use om_bench::mutate::{parse_baseline, render_json, run_campaign, scorecard};
+
+/// One corpus seed, one site per class: every mutant class is exercised
+/// (seed 3 has a live site-0 candidate for all of them — asserted below).
+fn slice() -> om_bench::mutate::Scorecard {
+    scorecard(run_campaign(&[3], 1, usize::MAX, 2).expect("clean build of corpus seed 3"))
+}
+
+#[test]
+fn bounded_slice_kills_every_mutant() {
+    let card = slice();
+    assert!(card.mutants >= 10, "slice produced only {} mutants", card.mutants);
+    assert_eq!(
+        card.escaped,
+        0,
+        "escapes in the tier-1 slice: {:?}",
+        card.rows.iter().filter(|r| !r.killed()).map(|r| (r.class, r.site)).collect::<Vec<_>>()
+    );
+    // Both injection layers are present in the slice.
+    assert!(card.classes.iter().any(|c| c.class.starts_with("img-")));
+    assert!(card.classes.iter().any(|c| c.class.starts_with("fault-")));
+    // The attribution story holds: at least one class is verify-blind
+    // (runtime oracles only) and at least one is runtime-blind (verify
+    // only) — the nets genuinely overlap rather than duplicating.
+    assert!(
+        card.classes.iter().any(|c| c.verify == 0 && c.checksum == c.total),
+        "no verify-blind class in the slice"
+    );
+    assert!(
+        card.classes.iter().any(|c| c.verify == c.total && c.checksum == 0),
+        "no runtime-blind class in the slice"
+    );
+}
+
+#[test]
+fn scorecard_is_deterministic_across_worker_counts() {
+    let serial = scorecard(run_campaign(&[3], 1, usize::MAX, 1).unwrap());
+    let parallel = slice();
+    assert_eq!(render_json(&serial), render_json(&parallel));
+}
+
+#[test]
+fn committed_baseline_meets_the_acceptance_floor() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../MUTANTS_baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed MUTANTS_baseline.json");
+    let base = parse_baseline(&text).expect("baseline parses");
+    assert!(base.mutants >= 60, "baseline has only {} mutants", base.mutants);
+    assert!(base.classes.len() >= 10, "baseline has only {} classes", base.classes.len());
+    assert_eq!(base.killed, base.mutants, "baseline records escapes");
+    for (class, total, escaped) in &base.classes {
+        assert!(*total > 0, "class {class} is empty");
+        assert_eq!(*escaped, 0, "class {class} has baseline escapes");
+    }
+}

@@ -17,6 +17,7 @@ use crate::analysis::{
     address_taken, call_sites, find_entry_pair, prologue_pair_at_entry, reads_pv_outside,
     use_index, CallKind, Snapshot, UseKind,
 };
+use crate::fault::{armed, FaultKind, FaultPlan};
 use crate::pipeline::CallBook;
 use crate::simple::{bsr_reachable, transform_address_loads};
 use crate::stats::OmStats;
@@ -58,9 +59,16 @@ pub fn run_with(
     for _round in 0..options.max_rounds {
         let snap = Snapshot::capture_with(program, options.sort_commons)?;
         let mut changed = false;
-        changed |= remove_prologues_and_convert_calls(program, &snap, stats, book, &preempt);
+        changed |= remove_prologues_and_convert_calls(
+            program,
+            &snap,
+            stats,
+            book,
+            &preempt,
+            options.fault.as_ref(),
+        );
         let before = (stats.addr_loads_converted, stats.addr_loads_nullified);
-        transform_address_loads(program, &snap, stats, &preempt);
+        transform_address_loads(program, &snap, stats, &preempt, options.fault.as_ref());
         changed |= (stats.addr_loads_converted, stats.addr_loads_nullified) != before;
         // Deletion: in OM-full every nullified instruction is actually
         // removed from the code.
@@ -125,6 +133,7 @@ fn remove_prologues_and_convert_calls(
     stats: &mut OmStats,
     book: &mut CallBook,
     preempt: &HashSet<&str>,
+    fault: Option<&FaultPlan>,
 ) -> bool {
     let single_group = snap.single_group();
     let taken = address_taken(program);
@@ -260,7 +269,7 @@ fn remove_prologues_and_convert_calls(
             .unwrap_or(false);
 
         // Decide the entry point and whether PV dies.
-        let (addend, kill_load) = if drop_prologue.contains(target) {
+        let (mut addend, kill_load) = if drop_prologue.contains(target) {
             (0, sole_use)
         } else if same_gp {
             let (tm, tp) = program.proc_of(target).expect("checked");
@@ -274,6 +283,25 @@ fn remove_prologues_and_convert_calls(
             // so the PV load must stay; BSR is still profitable.
             (0, false)
         };
+
+        // Fault point: a `BSR target+8` against a callee whose entry holds
+        // real code (no GPDISP pair left to skip) silently drops two
+        // instructions from the callee's execution.
+        if addend == 0 {
+            let entry_is_real_code = program
+                .proc_of(target)
+                .map(|(tm, tp)| prologue_pair_at_entry(&program.modules[tm].procs[tp]).is_none())
+                .unwrap_or(false);
+            if entry_is_real_code && armed(fault, FaultKind::BsrSkew) {
+                addend = 8;
+            }
+        }
+        // Fault point: the PV load dies below, but the branch forgets the
+        // +8 prologue skip that compensates — the callee rebuilds GP from a
+        // stale PV.
+        if addend == 8 && kill_load && armed(fault, FaultKind::PvLoadDrop) {
+            addend = 0;
+        }
 
         let p = &mut program.modules[s.mi].procs[s.pi];
         let at = p.index_of(s.jsr_id);

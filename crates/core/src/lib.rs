@@ -38,6 +38,7 @@
 //! ```
 
 pub mod analysis;
+pub mod fault;
 pub mod full;
 pub mod pgo;
 pub mod pipeline;
@@ -48,9 +49,10 @@ pub mod stats;
 pub mod sym;
 pub mod verify;
 
+pub use fault::{FaultKind, FaultPlan};
 pub use pipeline::{
-    optimize_and_link, optimize_and_link_with, pipeline_runs, CallBook, OmLevel, OmOptions,
-    OmOutput,
+    optimize_and_link, optimize_and_link_artifacts, optimize_and_link_with, pipeline_runs,
+    CallBook, Emitted, OmLevel, OmOptions, OmOutput,
 };
 pub use profile::{CallEdge, ProcProfile, Profile, ProfileError};
 pub use stats::OmStats;

@@ -26,7 +26,8 @@ use crate::pipeline::OmOptions;
 use crate::profile::Profile;
 use crate::resched::{align_backward_targets_where, backward_target_ids};
 use crate::stats::OmStats;
-use crate::sym::{SymProc, SymProgram};
+use crate::sym::{SInst, SMark, SymProc, SymProgram};
+use om_alpha::Inst;
 use om_objfile::Visibility;
 
 /// The linked-image symbol name of a procedure (the key [`Profile`] entries
@@ -97,6 +98,36 @@ pub fn run_with(
         hot.push(per_proc);
     }
     align_backward_targets_where(program, stats, |mi, pi, rank| hot[mi][pi][rank]);
+
+    // Fault point: pad the entry of a procedure that prologue-skipping
+    // `BSR +8` callers enter at a fixed offset — they now land mid-pair.
+    // The UNOP is counted like any alignment UNOP, so the accounting stays
+    // balanced and only execution can notice.
+    if let Some(plan) = options.fault.as_ref() {
+        let mut skip_targets: Vec<(usize, usize)> = Vec::new();
+        for m in &program.modules {
+            for p in &m.procs {
+                for i in &p.insts {
+                    if let SMark::BrSym { target, addend: 8 } = &i.mark {
+                        if let Some(coord) = program.proc_of(target) {
+                            if !skip_targets.contains(&coord) {
+                                skip_targets.push(coord);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        skip_targets.sort_unstable();
+        for (mi, pi) in skip_targets {
+            if plan.arm(crate::fault::FaultKind::EntryPad) {
+                let p = &mut program.modules[mi].procs[pi];
+                let id = p.fresh_id();
+                p.insts.insert(0, SInst { id, inst: Inst::unop(), mark: SMark::None });
+                stats.unops_inserted += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

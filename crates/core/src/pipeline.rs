@@ -101,6 +101,10 @@ pub struct OmOptions {
     /// considered hot (and earn alignment UNOPs) under profile-guided
     /// layout. The default, 1, skips only never-executed targets.
     pub pgo_hot_min: u64,
+    /// Deliberate miscompilation for mutation testing ([`crate::fault`],
+    /// the `omkill` harness). `None` — the only value real links ever use —
+    /// costs a single branch per fault point.
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for OmOptions {
@@ -113,6 +117,7 @@ impl Default for OmOptions {
             verify: false,
             profile: None,
             pgo_hot_min: 1,
+            fault: None,
         }
     }
 }
@@ -126,6 +131,20 @@ pub struct OmOutput {
     /// The verification report, when [`OmOptions::verify`] was requested
     /// (always passing: violations abort the link instead).
     pub verify: Option<crate::verify::VerifyReport>,
+}
+
+/// The intermediate link products behind an [`OmOutput`]: exactly what
+/// [`crate::verify::verify_linked`] needs to re-check an image after the
+/// fact. The mutation harness corrupts a copy of the image and replays the
+/// verifier against these unchanged artifacts.
+#[derive(Debug, Clone)]
+pub struct Emitted {
+    /// The transformed modules, as emitted for the final link.
+    pub modules: Vec<Module>,
+    /// Symbol table over [`Emitted::modules`].
+    pub symtab: om_linker::SymbolTable,
+    /// The layout the final link used.
+    pub layout: om_linker::ProgramLayout,
 }
 
 /// Counts the pre-transformation statistics.
@@ -190,6 +209,22 @@ pub fn optimize_and_link_with(
     level: OmLevel,
     options: &OmOptions,
 ) -> Result<OmOutput, OmError> {
+    optimize_and_link_artifacts(objects, libs, level, options).map(|(out, _)| out)
+}
+
+/// [`optimize_and_link_with`], additionally returning the [`Emitted`]
+/// artifacts of the final link (for post-hoc image verification — the
+/// mutation harness's image mutators are built on this).
+///
+/// # Errors
+///
+/// Returns [`OmError`] for malformed input or link failures.
+pub fn optimize_and_link_artifacts(
+    objects: &[Module],
+    libs: &[Archive],
+    level: OmLevel,
+    options: &OmOptions,
+) -> Result<(OmOutput, Emitted), OmError> {
     PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed);
     let modules = select_modules(objects, libs)?;
     let symtab = build_symbol_table(&modules)?;
@@ -212,11 +247,12 @@ pub fn optimize_and_link_with(
                     &mut program,
                     &mut stats,
                     options.align_backward_targets,
+                    options.fault.as_ref(),
                 ),
                 Some(profile) => {
                     // Schedule without the blind alignment pass; the PGO
                     // layer reorders procedures and aligns hot targets only.
-                    crate::resched::run_with(&mut program, &mut stats, false);
+                    crate::resched::run_with(&mut program, &mut stats, false, options.fault.as_ref());
                     crate::pgo::run_with(&mut program, &mut stats, profile, options);
                 }
             }
@@ -226,6 +262,10 @@ pub fn optimize_and_link_with(
     // Derived counters.
     stats.calls_pv_after = book.values().filter(|&&(pv, _)| pv).count();
     stats.calls_gp_reset_after = book.values().filter(|&&(_, reset)| reset).count();
+
+    if crate::fault::armed(options.fault.as_ref(), crate::fault::FaultKind::CountSkew) {
+        stats.insts_deleted += 1;
+    }
 
     // Final link with OM's layout policy.
     let final_modules = crate::sym::emit_all(&program);
@@ -237,14 +277,14 @@ pub fn optimize_and_link_with(
     let link_opts = LayoutOpts { sort_commons: level != OmLevel::None && options.sort_commons };
     let (image, link) = link_modules(&final_modules, &[], &link_opts).map_err(OmError::Link)?;
 
+    // The layout the final link saw, recomputed for post-hoc verification.
+    let symtab = build_symbol_table(&final_modules)?;
+    let layout = om_linker::layout(&final_modules, &symtab, &link_opts)?;
+
     let verify = if options.verify {
         let mut report = crate::verify::verify_sym(&program);
         report.merge(crate::verify::verify_stats(&program, &stats));
-        // Recompute the layout exactly as the final link saw it so the
-        // image can be checked against an independent address calculation.
-        let st = build_symbol_table(&final_modules)?;
-        let lay = om_linker::layout(&final_modules, &st, &link_opts)?;
-        report.merge(crate::verify::verify_linked(&final_modules, &st, &lay, &image));
+        report.merge(crate::verify::verify_linked(&final_modules, &symtab, &layout, &image));
         if !report.is_ok() {
             return Err(OmError::Verify {
                 checks: report.checks,
@@ -256,5 +296,6 @@ pub fn optimize_and_link_with(
         None
     };
 
-    Ok(OmOutput { image, stats, link, verify })
+    let emitted = Emitted { modules: final_modules, symtab, layout };
+    Ok((OmOutput { image, stats, link, verify }, emitted))
 }

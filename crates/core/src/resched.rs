@@ -9,6 +9,7 @@
 //! latency slots be reused. The paper found the payoff small — our harness
 //! measures the same experiment.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::stats::OmStats;
 use crate::sym::{InstId, SInst, SMark, SymProc, SymProgram};
 use om_alpha::timing::{can_dual_issue, latency};
@@ -17,21 +18,55 @@ use std::collections::{HashMap, HashSet};
 
 /// Reschedules every procedure and aligns backward-branch targets.
 pub fn run(program: &mut SymProgram, stats: &mut OmStats) {
-    run_with(program, stats, true);
+    run_with(program, stats, true, None);
 }
 
 /// [`run`] with the alignment pass optional (the ablation the paper itself
 /// performed on `ear`: "when we scheduled it without alignment the
-/// performance was improved").
-pub fn run_with(program: &mut SymProgram, stats: &mut OmStats, align: bool) {
+/// performance was improved") and an optional mutation-testing fault plan.
+pub fn run_with(
+    program: &mut SymProgram,
+    stats: &mut OmStats,
+    align: bool,
+    fault: Option<&FaultPlan>,
+) {
     for m in &mut program.modules {
         for p in &mut m.procs {
             schedule_proc(&mut p.insts);
+            // Fault point: procedures with an adjacent truly-dependent pair
+            // are the candidate sites for a dependence-violating swap.
+            if let Some(k) = dependent_adjacent_pair(&p.insts) {
+                if crate::fault::armed(fault, FaultKind::SchedSwap) {
+                    p.insts.swap(k, k + 1);
+                }
+            }
         }
     }
     if align {
         align_backward_targets(program, stats);
     }
+}
+
+/// First position `k` where instruction `k+1` truly depends on `k` (reads
+/// an integer register `k` writes), neither is a control transfer, and
+/// `k+1` is not a branch target — the site the [`FaultKind::SchedSwap`]
+/// mutation inverts.
+fn dependent_adjacent_pair(insts: &[SInst]) -> Option<usize> {
+    let targets: HashSet<InstId> = insts
+        .iter()
+        .filter_map(|i| match i.mark {
+            SMark::BrLocal { target } => Some(target),
+            _ => None,
+        })
+        .collect();
+    insts.windows(2).position(|w| {
+        let (a, b) = (Effects::of(&w[0].inst), Effects::of(&w[1].inst));
+        !a.control
+            && !b.control
+            && a.int_defs & b.int_uses != 0
+            && !targets.contains(&w[1].id)
+            && !targets.contains(&w[0].id)
+    })
 }
 
 /// Splits `insts` into basic blocks and list-schedules each block.

@@ -18,6 +18,7 @@ use crate::analysis::{
     call_sites, load_dest, prologue_pair_at_entry, reads_pv_outside, use_index, CallKind,
     Snapshot, UseKind,
 };
+use crate::fault::{armed, FaultKind, FaultPlan};
 use crate::pipeline::CallBook;
 use crate::stats::OmStats;
 use crate::sym::{GlobalRef, OmError, SMark, SymProgram};
@@ -62,7 +63,7 @@ pub fn run_with(
     let snap = Snapshot::capture_with(program, options.sort_commons)?;
     let preempt: HashSet<&str> = options.preemptible.iter().map(String::as_str).collect();
     transform_calls(program, &snap, stats, book, &preempt);
-    transform_address_loads(program, &snap, stats, &preempt);
+    transform_address_loads(program, &snap, stats, &preempt, options.fault.as_ref());
     Ok(())
 }
 
@@ -170,6 +171,7 @@ pub fn transform_address_loads(
     snap: &Snapshot,
     stats: &mut OmStats,
     preempt: &HashSet<&str>,
+    fault: Option<&FaultPlan>,
 ) {
     let nmods = program.modules.len();
     for mi in 0..nmods {
@@ -178,6 +180,9 @@ pub fn transform_address_loads(
         for pi in 0..nprocs {
             let uses = use_index(&program.modules[mi].procs[pi]);
             let loads = crate::analysis::literal_loads(&program.modules[mi].procs[pi]);
+            // [`FaultKind::NullifyDelete`] removes an instruction mid-walk;
+            // deferring the deletion keeps the collected indices valid.
+            let mut delete_after: Vec<crate::sym::InstId> = Vec::new();
             for k in loads {
                 let (load_id, target, addend, escaping, rd) = {
                     let i = &program.modules[mi].procs[pi].insts[k];
@@ -217,6 +222,10 @@ pub fn transform_address_loads(
                         .iter()
                         .all(|&(_, d)| i16::try_from(disp + d).is_ok());
                     if all_fit_16 {
+                        // Fault point: every use's rewritten addend is off by
+                        // +8 — carried consistently into the relocations, so
+                        // only execution can notice.
+                        let skew = if armed(fault, FaultKind::AddendSkew) { 8 } else { 0 };
                         // Nullify: every use absorbs its own GP displacement,
                         // addressing directly off GP.
                         for &(ui, d) in &use_disps {
@@ -224,11 +233,17 @@ pub fn transform_address_loads(
                             set_mem_base(&mut proc.insts[ui].inst, Reg::GP);
                             proc.insts[ui].mark = SMark::Gprel {
                                 target: target.clone(),
-                                addend: addend + d,
+                                addend: addend + d + skew,
                             };
                         }
-                        proc.insts[k].inst = Inst::nop();
-                        proc.insts[k].mark = SMark::None;
+                        if armed(fault, FaultKind::NullifyDelete) {
+                            // Fault point: drop the load instead of no-op'ing
+                            // it, leaving the nullification count inflated.
+                            delete_after.push(load_id);
+                        } else {
+                            proc.insts[k].inst = Inst::nop();
+                            proc.insts[k].mark = SMark::None;
+                        }
                         stats.insts_nullified += 1;
                         stats.addr_loads_nullified += 1;
                         continue;
@@ -287,6 +302,10 @@ pub fn transform_address_loads(
                     }
                     stats.addr_loads_converted += 1;
                 }
+            }
+            if !delete_after.is_empty() {
+                let doomed: HashSet<crate::sym::InstId> = delete_after.into_iter().collect();
+                program.modules[mi].procs[pi].delete(&doomed);
             }
         }
     }

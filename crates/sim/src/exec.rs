@@ -91,6 +91,49 @@ pub struct RunResult {
     pub output: Vec<i64>,
 }
 
+/// How a run diverged from a reference checksum — the runtime oracle's
+/// verdict on a (possibly corrupted) image, classified so the mutation
+/// harness can attribute kills.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Ran to HALT and reproduced the reference checksum.
+    Agree,
+    /// Ran to HALT with a different checksum.
+    Checksum { got: i64, want: i64 },
+    /// Faulted: memory fault, undecodable word, or a jump outside text.
+    Crash(String),
+    /// Exceeded the instruction budget (runaway or non-terminating).
+    Hang { limit: u64 },
+}
+
+impl Divergence {
+    /// Classifies a run against the reference checksum `want`.
+    pub fn classify(run: &Result<RunResult, ExecError>, want: i64) -> Divergence {
+        match run {
+            Ok(r) if r.result == want => Divergence::Agree,
+            Ok(r) => Divergence::Checksum { got: r.result, want },
+            Err(ExecError::StepLimit { limit }) => Divergence::Hang { limit: *limit },
+            Err(e) => Divergence::Crash(e.to_string()),
+        }
+    }
+
+    /// True unless the run agreed with the reference.
+    pub fn diverged(&self) -> bool {
+        !matches!(self, Divergence::Agree)
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Agree => write!(f, "agree"),
+            Divergence::Checksum { got, want } => write!(f, "checksum {got} != {want}"),
+            Divergence::Crash(e) => write!(f, "crash: {e}"),
+            Divergence::Hang { limit } => write!(f, "hang: no HALT within {limit} insts"),
+        }
+    }
+}
+
 impl Machine {
     /// Loads an image, pre-decoding its text segment. Undecodable words
     /// (inter-module alignment padding) become lazy faults that trigger only

@@ -34,7 +34,7 @@ pub mod mem;
 pub mod profile;
 pub mod timing;
 
-pub use exec::{run_image, ExecError, Machine, NoTiming, Observer, Retired, RunResult};
+pub use exec::{run_image, Divergence, ExecError, Machine, NoTiming, Observer, Retired, RunResult};
 pub use mem::{Fault, Mem, STACK_BASE, STACK_SIZE, STACK_TOP};
 pub use profile::{ProfileObserver, Tee};
 pub use timing::{Cache, Pipeline, TimingStats};

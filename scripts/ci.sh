@@ -1,13 +1,19 @@
 #!/bin/sh
-# Full CI gate: build, test, figure-drift check, and a bounded differential
-# fuzz campaign. Any step failing fails the script.
+# Full CI gate: build, test, figure-drift check, a bounded differential
+# fuzz campaign, and the mutation-kill gate. Any step failing fails the
+# script.
 #
-# Usage: scripts/ci.sh [FUZZ_SEEDS]
+# Usage: scripts/ci.sh [FUZZ_SEEDS] [MUTANTS]
 #   FUZZ_SEEDS   seeds for the omfuzz campaign (default 200)
+#   MUTANTS      budget for the omkill campaign (default 120, covering the
+#                whole committed corpus; lower it to bound CI time — the
+#                corpus is round-robin by class, so a budget cap still
+#                touches every class before deepening any)
 set -eu
 
 cd "$(dirname "$0")/.."
 seeds="${1:-200}"
+mutants="${2:-120}"
 
 echo "== build (release, all targets) =="
 cargo build --release --workspace
@@ -26,5 +32,11 @@ scripts/bench.sh
 
 echo "== differential fuzz ($seeds seeds) =="
 cargo run --release -p om-bench --bin omfuzz -- --seeds "$seeds"
+
+echo "== mutation kill gate ($mutants mutants vs MUTANTS_baseline.json) =="
+# Fails if any class the baseline records as fully killed now escapes an
+# oracle, or if the overall kill rate drops below the baseline's.
+cargo run --release -p om-bench --bin omkill -- \
+    --mutants "$mutants" --check MUTANTS_baseline.json
 
 echo "CI OK"
