@@ -16,14 +16,19 @@
 
 use om_core::{optimize_and_link, optimize_and_link_with, OmLevel, OmOptions, OmOutput, OmStats, Profile};
 use om_linker::{link_modules, Image, LayoutOpts};
-use om_sim::{run_profiled, run_timed, TimingStats};
+use om_sim::{run_profiled_fast, run_timed_fast, TimingStats};
 use om_workloads::build::{build, BuiltBenchmark, CompileMode};
 use om_workloads::gen::BenchSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Simulator instruction budget per run.
 pub const SIM_LIMIT: u64 = 2_000_000_000;
+
+/// Which simulator engine the harness measures with. Recorded in the BENCH
+/// JSON so a captured run says how its `simsec` rows were produced.
+pub const SIM_ENGINE: &str = "block";
 
 /// Cumulative per-phase wall time, summed across worker threads (so with
 /// `--jobs N` the totals can exceed elapsed time — they are CPU-style
@@ -70,6 +75,10 @@ pub struct Prepared {
     /// Profile-guided relinks per mode (built with verification on),
     /// computed on first use.
     pgo: [OnceLock<OmOutput>; CompileMode::ALL.len()],
+    /// Cumulative simulator wall time spent on this benchmark, in
+    /// nanoseconds (the per-benchmark slice of [`phase::totals`]'s sim
+    /// column). Report-only.
+    sim_nanos: AtomicU64,
 }
 
 impl Prepared {
@@ -91,7 +100,19 @@ impl Prepared {
             std_image: Default::default(),
             profile: Default::default(),
             pgo: Default::default(),
+            sim_nanos: AtomicU64::new(0),
         }
+    }
+
+    fn add_sim(&self, t0: Instant) {
+        let d = t0.elapsed();
+        phase::add_sim(d);
+        self.sim_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Simulator seconds spent on this benchmark so far.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 
     fn built(&self, mode: CompileMode) -> &BuiltBenchmark {
@@ -151,8 +172,8 @@ impl Prepared {
         let image = self.std_image(mode);
         let t0 = Instant::now();
         let (r, t) =
-            run_timed(image, SIM_LIMIT).unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
-        phase::add_sim(t0.elapsed());
+            run_timed_fast(image, SIM_LIMIT).unwrap_or_else(|e| panic!("{}: {e}", self.spec.name));
+        self.add_sim(t0);
         (r.result, t)
     }
 
@@ -164,9 +185,9 @@ impl Prepared {
     pub fn run_om(&self, mode: CompileMode, level: OmLevel) -> (i64, TimingStats) {
         let out = self.om(mode, level);
         let t0 = Instant::now();
-        let (r, t) = run_timed(&out.image, SIM_LIMIT)
+        let (r, t) = run_timed_fast(&out.image, SIM_LIMIT)
             .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
-        phase::add_sim(t0.elapsed());
+        self.add_sim(t0);
         (r.result, t)
     }
 
@@ -180,9 +201,9 @@ impl Prepared {
         self.profile[mode.index()].get_or_init(|| {
             let image = &self.om(mode, OmLevel::FullSched).image;
             let t0 = Instant::now();
-            let (_, prof) = run_profiled(image, SIM_LIMIT)
+            let (_, prof) = run_profiled_fast(image, SIM_LIMIT)
                 .unwrap_or_else(|e| panic!("{} profile: {e}", self.spec.name));
-            phase::add_sim(t0.elapsed());
+            self.add_sim(t0);
             prof
         })
     }
@@ -219,9 +240,9 @@ impl Prepared {
     pub fn run_pgo(&self, mode: CompileMode) -> (i64, TimingStats) {
         let out = self.om_pgo(mode);
         let t0 = Instant::now();
-        let (r, t) = run_timed(&out.image, SIM_LIMIT)
+        let (r, t) = run_timed_fast(&out.image, SIM_LIMIT)
             .unwrap_or_else(|e| panic!("{} pgo: {e}", self.spec.name));
-        phase::add_sim(t0.elapsed());
+        self.add_sim(t0);
         (r.result, t)
     }
 }
@@ -497,12 +518,15 @@ pub struct BenchRows {
     pub fig7: Option<Fig7Row>,
     pub gat: Option<GatRow>,
     pub pgo: Option<PgoRow>,
+    /// Simulator seconds this benchmark spent across all its runs
+    /// (report-only; excluded from baseline diffs like fig7).
+    pub sim_seconds: f64,
 }
 
 /// Measures all selected figures for one benchmark. Thanks to the memoized
 /// pipeline, overlapping figures (3/4/5/6/gat) share OM runs.
 pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
-    BenchRows {
+    let mut rows = BenchRows {
         name: p.spec.name.to_string(),
         fig3: sel.fig3.then(|| fig3(p)),
         fig4: sel.fig4.then(|| fig4(p)),
@@ -517,5 +541,10 @@ pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
             eprintln!("  pgo: {}", p.spec.name);
             pgo(p)
         }),
-    }
+        sim_seconds: 0.0,
+    };
+    // Sampled after every figure above has run, so it covers the whole
+    // benchmark's simulator time.
+    rows.sim_seconds = p.sim_seconds();
+    rows
 }

@@ -10,6 +10,13 @@
 //! the object-code pipeline, so any disagreement pins a bug in codegen, the
 //! linker, an OM transformation, profile collection, or the simulator.
 //!
+//! Every simulated variant additionally runs through *both* simulator
+//! engines — the per-instruction reference interpreter with the full timing
+//! model and the block-cache engine with fused timing — and diffs their
+//! results, retired-instruction counts, program output, cycle-exact timing
+//! statistics, and (on the profile-guided variant) profile JSON. An engine
+//! divergence is a shrinkable failure like any other mismatch.
+//!
 //! On failure [`shrink`] greedily drops trailing modules, then unreferenced
 //! procedures, then individual statements, re-running the oracle at each
 //! step, and [`write_repro`] saves a minimized reproduction file.
@@ -18,7 +25,7 @@
 
 use om_core::{optimize_and_link_with, OmLevel, OmOptions};
 use om_prng::StdRng;
-use om_sim::{run_image, run_profiled};
+use om_sim::{run_profiled, run_profiled_fast, run_timed, run_timed_fast, RunResult};
 use om_workloads::stdlib::STDLIB_SOURCES;
 use om_workloads::{stdlib_libs, CompileMode};
 use std::fmt::Write as _;
@@ -403,6 +410,70 @@ impl Outcome {
     }
 }
 
+/// Simulates `image` on both engines and diffs everything observable.
+/// Returns the agreed run result, or `None` after recording a mismatch.
+fn sim_both(
+    image: &om_linker::Image,
+    variant: &str,
+    mismatches: &mut Vec<Mismatch>,
+) -> Option<RunResult> {
+    let reference = run_timed(image, SIM_STEPS);
+    let fast = run_timed_fast(image, SIM_STEPS);
+    match (reference, fast) {
+        (Ok((rr, rt)), Ok((fr, ft))) => {
+            if rr != fr || rt != ft {
+                mismatches.push(Mismatch {
+                    variant: format!("{variant} (engines)"),
+                    detail: format!(
+                        "block engine diverges from reference: \
+                         result {} vs {}, insts {} vs {}, cycles {} vs {}, \
+                         output match {}, timing match {}",
+                        rr.result,
+                        fr.result,
+                        rr.insts,
+                        fr.insts,
+                        rt.cycles,
+                        ft.cycles,
+                        rr.output == fr.output,
+                        rt == ft,
+                    ),
+                });
+                return None;
+            }
+            Some(rr)
+        }
+        (Err(re), Err(fe)) => {
+            let (re, fe) = (re.to_string(), fe.to_string());
+            if re != fe {
+                mismatches.push(Mismatch {
+                    variant: format!("{variant} (engines)"),
+                    detail: format!("fault divergence: reference '{re}' vs block '{fe}'"),
+                });
+            } else {
+                mismatches.push(Mismatch {
+                    variant: variant.to_string(),
+                    detail: format!("simulator: {re}"),
+                });
+            }
+            None
+        }
+        (Ok(_), Err(e)) => {
+            mismatches.push(Mismatch {
+                variant: format!("{variant} (engines)"),
+                detail: format!("block engine faulted where reference succeeded: {e}"),
+            });
+            None
+        }
+        (Err(e), Ok(_)) => {
+            mismatches.push(Mismatch {
+                variant: format!("{variant} (engines)"),
+                detail: format!("reference faulted where block engine succeeded: {e}"),
+            });
+            None
+        }
+    }
+}
+
 /// Runs the full differential oracle on `prog`.
 pub fn check(prog: &FuzzProgram) -> Outcome {
     let sources = render(prog);
@@ -472,24 +543,18 @@ pub fn check(prog: &FuzzProgram) -> Outcome {
             let variant = format!("{} × {}", mode.name(), level.name());
             match optimize_and_link_with(&objects, &libs, level, &opts) {
                 Ok(out) => {
-                    match run_image(&out.image, SIM_STEPS) {
-                        Ok(r) => {
-                            if r.result != reference {
-                                mismatches.push(Mismatch {
-                                    variant,
-                                    detail: format!(
-                                        "checksum {} != reference {reference}",
-                                        r.result
-                                    ),
-                                });
-                            } else if level == OmLevel::FullSched {
-                                sched_image = Some(out.image);
-                            }
+                    if let Some(r) = sim_both(&out.image, &variant, &mut mismatches) {
+                        if r.result != reference {
+                            mismatches.push(Mismatch {
+                                variant,
+                                detail: format!(
+                                    "checksum {} != reference {reference}",
+                                    r.result
+                                ),
+                            });
+                        } else if level == OmLevel::FullSched {
+                            sched_image = Some(out.image);
                         }
-                        Err(e) => mismatches.push(Mismatch {
-                            variant,
-                            detail: format!("simulator: {e}"),
-                        }),
                     }
                 }
                 Err(e) => mismatches.push(Mismatch {
@@ -502,34 +567,49 @@ pub fn check(prog: &FuzzProgram) -> Outcome {
         // the profile, and re-diff the checksum.
         if let Some(image) = sched_image {
             let variant = format!("{} × pgo", mode.name());
-            match run_profiled(&image, SIM_STEPS) {
-                Ok((_, profile)) => {
-                    let popts = OmOptions { profile: Some(profile), ..opts.clone() };
-                    match optimize_and_link_with(&objects, &libs, OmLevel::FullSched, &popts) {
-                        Ok(out) => match run_image(&out.image, SIM_STEPS) {
-                            Ok(r) if r.result != reference => mismatches.push(Mismatch {
-                                variant,
-                                detail: format!(
-                                    "checksum {} != reference {reference}",
-                                    r.result
-                                ),
-                            }),
-                            Ok(_) => {}
-                            Err(e) => mismatches.push(Mismatch {
-                                variant,
-                                detail: format!("simulator: {e}"),
-                            }),
-                        },
-                        Err(e) => mismatches.push(Mismatch {
-                            variant,
-                            detail: format!("link/verify: {e}"),
-                        }),
+            // Both engines collect the profile; their JSON must agree
+            // byte-for-byte before the reference one drives the relink.
+            let profiled = match (run_profiled(&image, SIM_STEPS), run_profiled_fast(&image, SIM_STEPS)) {
+                (Ok((_, rp)), Ok((_, fp))) => {
+                    if rp.to_json() != fp.to_json() {
+                        mismatches.push(Mismatch {
+                            variant: format!("{variant} (engines)"),
+                            detail: "block engine profile JSON diverges from reference".into(),
+                        });
+                        None
+                    } else {
+                        Some(rp)
                     }
                 }
-                Err(e) => mismatches.push(Mismatch {
-                    variant,
-                    detail: format!("profiling run: {e}"),
-                }),
+                (Err(e), _) | (_, Err(e)) => {
+                    mismatches.push(Mismatch {
+                        variant: variant.clone(),
+                        detail: format!("profiling run: {e}"),
+                    });
+                    None
+                }
+            };
+            if let Some(profile) = profiled {
+                let popts = OmOptions { profile: Some(profile), ..opts.clone() };
+                match optimize_and_link_with(&objects, &libs, OmLevel::FullSched, &popts) {
+                    Ok(out) => {
+                        if let Some(r) = sim_both(&out.image, &variant, &mut mismatches) {
+                            if r.result != reference {
+                                mismatches.push(Mismatch {
+                                    variant,
+                                    detail: format!(
+                                        "checksum {} != reference {reference}",
+                                        r.result
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => mismatches.push(Mismatch {
+                        variant,
+                        detail: format!("link/verify: {e}"),
+                    }),
+                }
             }
         }
     }

@@ -134,6 +134,19 @@ fn rows_for(out: &mut String, r: &BenchRows) -> usize {
         }
         push_row(out, "pgo", &r.name, &fields);
     }
+    if r.sim_seconds > 0.0 {
+        sep(out);
+        // Wall-clock, like fig7: report-only, excluded from baseline diffs.
+        push_row(
+            out,
+            "simsec",
+            &r.name,
+            &[
+                ("seconds", f(r.sim_seconds)),
+                ("engine", format!("\"{}\"", crate::figures::SIM_ENGINE)),
+            ],
+        );
+    }
     n
 }
 
@@ -149,6 +162,7 @@ pub fn report(
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"om-reproduce/v1\",");
+    let _ = writeln!(out, "  \"engine\": \"{}\",", crate::figures::SIM_ENGINE);
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"benchmarks\": {},", rows.len());
@@ -204,14 +218,18 @@ mod tests {
                 procs_moved: [2, 3],
                 targets: [(4, 1), (5, 0)],
             }),
+            sim_seconds: 0.375,
         }];
         let s = report(&rows, true, 4, 1.5, (0.5, 0.25, 0.75));
         let bench_lines: Vec<&str> = s.lines().filter(|l| l.contains("\"bench\"")).collect();
-        assert_eq!(bench_lines.len(), 3, "{s}");
+        assert_eq!(bench_lines.len(), 4, "{s}");
         assert!(bench_lines[0].contains("\"fig\":\"fig5\""), "{s}");
         assert!(bench_lines[1].contains("\"each_before\":40"), "{s}");
         assert!(bench_lines[2].contains("\"fig\":\"pgo\""), "{s}");
         assert!(bench_lines[2].contains("\"pgo_cycles_each\":950"), "{s}");
+        assert!(bench_lines[3].contains("\"fig\":\"simsec\""), "{s}");
+        assert!(bench_lines[3].contains("\"engine\":\"block\""), "{s}");
+        assert!(s.contains("\"engine\": \"block\""), "{s}");
         assert!(s.contains("\"phase_seconds\""), "{s}");
         // Valid-enough JSON: balanced braces/brackets on the skeleton.
         assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");

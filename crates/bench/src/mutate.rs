@@ -7,7 +7,8 @@
 //! * **verify** — `om_core::verify` (structural invariants, statistics
 //!   accounting, and the linked-image relocation re-check), plus the
 //!   pipeline's own hard errors;
-//! * **checksum** — simulating the mutant image and comparing against the
+//! * **checksum** — simulating the mutant image (on the block-cache engine,
+//!   the same one the benchmark harness uses) and comparing against the
 //!   *clean* build's simulated checksum (the golden-diff net);
 //! * **interp** — comparing against the mini-C interpreter's reference,
 //!   which never touches the object-code pipeline (the differential net).
@@ -34,7 +35,7 @@ use om_core::{
     Profile,
 };
 use om_objfile::{Archive, Module, RelocKind, SecId};
-use om_sim::{run_image, run_profiled, Divergence, Machine, Observer, Retired, RunResult};
+use om_sim::{run_covered_fast, run_fast, run_profiled_fast, Divergence, RunResult};
 use std::collections::HashSet;
 use om_workloads::stdlib::STDLIB_SOURCES;
 use om_workloads::stdlib_libs;
@@ -178,17 +179,6 @@ pub struct CleanBuild {
     pub executed: HashSet<u64>,
 }
 
-/// Observer recording the PC of every retired instruction.
-struct CoverageObserver {
-    executed: HashSet<u64>,
-}
-
-impl Observer for CoverageObserver {
-    fn retire(&mut self, r: &Retired) {
-        self.executed.insert(r.pc);
-    }
-}
-
 impl CleanBuild {
     /// Mutant simulation budget: generous headroom over the clean run, so
     /// a runaway mutant is classified as a hang instead of spinning.
@@ -229,7 +219,7 @@ pub fn build_clean(seed: u64) -> Result<CleanBuild, String> {
     let (output, emitted) =
         optimize_and_link_artifacts(&objects, &libs, OmLevel::FullSched, &opts)
             .map_err(|e| format!("seed {seed}: clean link: {e}"))?;
-    let clean = run_image(&output.image, fuzz::SIM_STEPS)
+    let clean = run_fast(&output.image, fuzz::SIM_STEPS)
         .map_err(|e| format!("seed {seed}: clean run: {e}"))?;
     if clean.result != reference {
         return Err(format!(
@@ -237,13 +227,11 @@ pub fn build_clean(seed: u64) -> Result<CleanBuild, String> {
             clean.result
         ));
     }
-    let (_, profile) = run_profiled(&output.image, fuzz::SIM_STEPS)
+    let (_, profile) = run_profiled_fast(&output.image, fuzz::SIM_STEPS)
         .map_err(|e| format!("seed {seed}: profiling run: {e}"))?;
-    let mut cov = CoverageObserver { executed: HashSet::new() };
-    Machine::load(&output.image)
-        .and_then(|mut m| m.run(fuzz::SIM_STEPS, &mut cov))
+    let (_, executed) = run_covered_fast(&output.image, fuzz::SIM_STEPS)
         .map_err(|e| format!("seed {seed}: coverage run: {e}"))?;
-    Ok(CleanBuild { seed, objects, libs, reference, output, emitted, clean, profile, executed: cov.executed })
+    Ok(CleanBuild { seed, objects, libs, reference, output, emitted, clean, profile, executed })
 }
 
 /// One executed mutant and the oracles that killed it.
@@ -508,7 +496,7 @@ pub fn run_mutant(build: &CleanBuild, spec: &MutantSpec) -> Option<MutantRecord>
                 &image,
             );
             let verify = !report.is_ok();
-            let run = run_image(&image, build.sim_budget());
+            let run = run_fast(&image, build.sim_budget());
             let vs_clean = Divergence::classify(&run, build.clean.result);
             let vs_interp = Divergence::classify(&run, build.reference);
             let mut detail = what;
@@ -557,7 +545,7 @@ fn run_fault_mutant(build: &CleanBuild, kind: FaultKind, site: usize) -> Option<
     let mut detail = format!("{} at site {site}", kind.name());
     match &linked {
         Ok((out, _)) => {
-            let run = run_image(&out.image, build.sim_budget());
+            let run = run_fast(&out.image, build.sim_budget());
             let vs_clean = Divergence::classify(&run, build.clean.result);
             let vs_interp = Divergence::classify(&run, build.reference);
             checksum = vs_clean.diverged();

@@ -1,7 +1,8 @@
 //! `asim` — run an executable image on the simulated Alpha.
 //!
 //! ```text
-//! asim [--limit N] [--timing] [--profile OUT.json] [--disasm [SYMBOL]] IMAGE.exe
+//! asim [--limit N] [--timing] [--profile OUT.json] [--sample N [--sample-check]]
+//!      [--reference] [--disasm [SYMBOL]] IMAGE.exe
 //! ```
 //!
 //! Prints the program's result (and its `__write_int` output); `--timing`
@@ -9,9 +10,21 @@
 //! an execution profile (per-procedure counts, call edges, backward-branch
 //! targets) and writes it as JSON for `om --profile-use`; `--disasm` dumps
 //! the text segment (or one procedure) instead of running.
+//!
+//! Runs use the block-cache engine by default; `--reference` falls back to
+//! the per-instruction interpreter (the differential oracle). `--sample N`
+//! opts into SimPoint-style sampled timing over intervals of N instructions:
+//! functional execution stays exact, but cycle-accurate timing runs only in
+//! each cluster's representative interval and the total is extrapolated.
+//! `--sample-check` additionally runs full timing and reports the measured
+//! extrapolation error.
 
 use om_linker::Image;
-use om_sim::{Machine, NoTiming, Pipeline, ProfileObserver, Tee};
+use om_sim::{
+    run_fast, run_profiled_fast, run_sampled, run_timed_fast, run_timed_profiled_fast, Machine,
+    NoTiming, Pipeline, ProfileObserver, RunResult, Tee, TimingStats,
+};
+use om_core::profile::Profile;
 use std::process::exit;
 
 /// Maps a program result to a process exit code without collisions: zero
@@ -45,6 +58,9 @@ mod tests {
 fn main() {
     let mut limit: u64 = 1_000_000_000;
     let mut timing = false;
+    let mut reference = false;
+    let mut sample: Option<u64> = None;
+    let mut sample_check = false;
     let mut profile_path: Option<String> = None;
     let mut disasm: Option<Option<String>> = None;
     let mut path: Option<String> = None;
@@ -64,6 +80,15 @@ fn main() {
                     });
             }
             "--timing" => timing = true,
+            "--reference" => reference = true,
+            "--sample" => {
+                i += 1;
+                sample = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("asim: --sample needs an interval size in instructions");
+                    exit(2);
+                }));
+            }
+            "--sample-check" => sample_check = true,
             "--profile" => {
                 i += 1;
                 match args.get(i) {
@@ -104,7 +129,8 @@ fn main() {
     }
     let Some(path) = path else {
         eprintln!(
-            "usage: asim [--limit N] [--timing] [--profile OUT.json] [--disasm [SYMBOL]] IMAGE.exe"
+            "usage: asim [--limit N] [--timing] [--profile OUT.json] \
+             [--sample N [--sample-check]] [--reference] [--disasm [SYMBOL]] IMAGE.exe"
         );
         exit(2);
     };
@@ -146,29 +172,76 @@ fn main() {
         return;
     }
 
-    // One simulated run feeds every requested observer (timing, profile, or
-    // both via a tee), so the flags compose without re-executing.
-    let mut pipe = Pipeline::default();
-    let mut prof = profile_path.as_ref().map(|_| ProfileObserver::new(&image));
-    let run = (|| {
-        let mut machine = Machine::load(&image)?;
-        match (timing, prof.as_mut()) {
-            (false, None) => machine.run(limit, &mut NoTiming),
-            (true, None) => machine.run(limit, &mut pipe),
-            (false, Some(p)) => machine.run(limit, p),
-            (true, Some(p)) => machine.run(limit, &mut Tee { a: &mut pipe, b: p }),
+    // Sampled timing is its own mode: exact functional execution with
+    // interval-clustered, extrapolated cycle accounting.
+    if let Some(interval) = sample {
+        let (r, rep) = run_sampled(&image, limit, interval).unwrap_or_else(|e| {
+            eprintln!("asim: {e}");
+            exit(1);
+        });
+        for v in &r.output {
+            println!("{v}");
         }
-    })();
-    let r = match run {
-        Ok(r) => r,
+        eprintln!(
+            "asim: result {} | sampled timing: {} of {} intervals (interval {} insts), \
+             {} of {} insts timed",
+            r.result, rep.clusters, rep.intervals, rep.interval, rep.sampled_insts, rep.total_insts
+        );
+        eprintln!("asim: estimated {} cycles", rep.estimated_cycles);
+        if sample_check {
+            let (_, t) = run_timed_fast(&image, limit).unwrap_or_else(|e| {
+                eprintln!("asim: {e}");
+                exit(1);
+            });
+            let err = (rep.estimated_cycles as f64 - t.cycles as f64).abs()
+                / t.cycles.max(1) as f64
+                * 100.0;
+            eprintln!("asim: exact {} cycles, sampling error {err:.3}%", t.cycles);
+        }
+        exit(exit_code(r.result));
+    }
+
+    // Default: the block-cache engine, with the per-instruction reference
+    // interpreter behind `--reference`. Either way one run feeds every
+    // requested observer, so the flags compose without re-executing.
+    let run: Result<(RunResult, Option<TimingStats>, Option<Profile>), om_sim::ExecError> =
+        if reference {
+            let mut pipe = Pipeline::default();
+            let mut prof = profile_path.as_ref().map(|_| ProfileObserver::new(&image));
+            (|| {
+                let mut machine = Machine::load(&image)?;
+                let r = match (timing, prof.as_mut()) {
+                    (false, None) => machine.run(limit, &mut NoTiming),
+                    (true, None) => machine.run(limit, &mut pipe),
+                    (false, Some(p)) => machine.run(limit, p),
+                    (true, Some(p)) => machine.run(limit, &mut Tee { a: &mut pipe, b: p }),
+                }?;
+                Ok((
+                    r,
+                    timing.then(|| pipe.stats()),
+                    prof.take().map(ProfileObserver::finish),
+                ))
+            })()
+        } else {
+            match (timing, profile_path.is_some()) {
+                (false, false) => run_fast(&image, limit).map(|r| (r, None, None)),
+                (true, false) => run_timed_fast(&image, limit).map(|(r, t)| (r, Some(t), None)),
+                (false, true) => {
+                    run_profiled_fast(&image, limit).map(|(r, p)| (r, None, Some(p)))
+                }
+                (true, true) => run_timed_profiled_fast(&image, limit)
+                    .map(|(r, t, p)| (r, Some(t), Some(p))),
+            }
+        };
+    let (r, stats, profile) = match run {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("asim: {e}");
             exit(1);
         }
     };
 
-    if let (Some(out), Some(obs)) = (&profile_path, prof.take()) {
-        let profile = obs.finish();
+    if let (Some(out), Some(profile)) = (&profile_path, &profile) {
         if let Err(e) = std::fs::write(out, profile.to_json()) {
             eprintln!("asim: cannot write {out}: {e}");
             exit(1);
@@ -183,8 +256,7 @@ fn main() {
     for v in &r.output {
         println!("{v}");
     }
-    if timing {
-        let t = pipe.stats();
+    if let Some(t) = stats {
         eprintln!(
             "asim: result {} | {} insts, {} cycles ({:.2} IPC), {} dual-issued, {} nops",
             r.result,

@@ -8,7 +8,6 @@
 use crate::mem::{Fault, Mem, STACK_TOP};
 use om_alpha::{decode, BrOp, FOprOp, Inst, MemOp, Operand, OprOp, PalOp, Reg};
 use om_linker::Image;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Execution errors.
@@ -72,12 +71,25 @@ pub struct Machine {
     /// FP registers (bit patterns of f64).
     pub fr: [u64; 32],
     pub pc: u64,
-    text_base: u64,
+    pub(crate) text_base: u64,
     /// Pre-decoded text; `Err` holds undecodable words (inter-module
     /// padding), fatal only if fetched.
-    text: Vec<Result<Inst, u32>>,
+    pub(crate) text: Vec<Result<Inst, u32>>,
     /// Debug output from `WriteInt`.
     pub output: Vec<i64>,
+}
+
+/// Architectural outcome of one executed instruction (shared between the
+/// reference interpreter loop and the block engine).
+pub(crate) struct Step {
+    /// Effective address for loads/stores.
+    pub(crate) ea: Option<u64>,
+    /// True when a branch/jump actually transferred control.
+    pub(crate) taken: bool,
+    /// Next pc (unused when `halted`).
+    pub(crate) next: u64,
+    /// True when the instruction was HALT.
+    pub(crate) halted: bool,
 }
 
 /// Result of a completed run.
@@ -165,7 +177,7 @@ impl Machine {
         Ok(m)
     }
 
-    fn geti(&self, r: Reg) -> u64 {
+    pub(crate) fn geti(&self, r: Reg) -> u64 {
         if r.is_zero() {
             0
         } else {
@@ -220,11 +232,30 @@ impl Machine {
             let pc = self.pc;
             let inst = self.fetch(pc)?;
             insts += 1;
-            let mut ea: Option<u64> = None;
-            let mut taken = false;
-            let mut next = pc.wrapping_add(4);
+            let s = self.exec_one(pc, inst)?;
+            if s.halted {
+                obs.retire(&Retired { pc, inst, ea: None, taken: false });
+                return Ok(RunResult {
+                    result: self.geti(Reg::V0) as i64,
+                    insts,
+                    output: std::mem::take(&mut self.output),
+                });
+            }
+            obs.retire(&Retired { pc, inst, ea: s.ea, taken: s.taken });
+            self.pc = s.next;
+        }
+    }
 
-            match inst {
+    /// Executes one instruction architecturally (registers, memory, output)
+    /// without touching `self.pc` or any observer — the single source of
+    /// instruction semantics for both `run` and the block engine.
+    #[inline]
+    pub(crate) fn exec_one(&mut self, pc: u64, inst: Inst) -> Result<Step, ExecError> {
+        let mut ea: Option<u64> = None;
+        let mut taken = false;
+        let mut next = pc.wrapping_add(4);
+
+        match inst {
                 Inst::Mem { op, ra, rb, disp } => {
                     let base = self.geti(rb);
                     let addr = base.wrapping_add(disp as i64 as u64);
@@ -395,12 +426,7 @@ impl Machine {
                 }
                 Inst::Pal { op } => match op {
                     PalOp::Halt => {
-                        obs.retire(&Retired { pc, inst, ea: None, taken: false });
-                        return Ok(RunResult {
-                            result: self.geti(Reg::V0) as i64,
-                            insts,
-                            output: std::mem::take(&mut self.output),
-                        });
+                        return Ok(Step { ea: None, taken: false, next: pc, halted: true });
                     }
                     PalOp::WriteInt => {
                         let v = self.geti(Reg::A0) as i64;
@@ -409,9 +435,7 @@ impl Machine {
                 },
             }
 
-            obs.retire(&Retired { pc, inst, ea, taken });
-            self.pc = next;
-        }
+        Ok(Step { ea, taken, next, halted: false })
     }
 }
 
@@ -424,14 +448,36 @@ pub fn run_image(image: &Image, limit: u64) -> Result<RunResult, ExecError> {
     Machine::load(image)?.run(limit, &mut NoTiming)
 }
 
-/// Finds the symbol whose address covers `pc` (for diagnostics).
-pub fn symbolize(image: &Image, pc: u64) -> Option<String> {
-    let mut best: Option<(&String, u64)> = None;
-    let map: &HashMap<String, u64> = &image.symbols;
-    for (name, &addr) in map {
-        if addr <= pc && best.map(|(_, a)| addr > a).unwrap_or(true) {
-            best = Some((name, addr));
+/// Sorted address→symbol range index: one sort at construction, then every
+/// lookup is a binary search. Aliased addresses collapse deterministically
+/// to the lexicographically first name (the linear `HashMap` scan this
+/// replaces picked an arbitrary alias).
+pub struct SymbolIndex {
+    addrs: Vec<u64>,
+    names: Vec<String>,
+}
+
+impl SymbolIndex {
+    /// Builds the index from an image's symbol map.
+    pub fn new(image: &Image) -> SymbolIndex {
+        let mut syms: Vec<(u64, &String)> =
+            image.symbols.iter().map(|(name, &addr)| (addr, name)).collect();
+        syms.sort();
+        syms.dedup_by_key(|&mut (addr, _)| addr);
+        SymbolIndex {
+            addrs: syms.iter().map(|&(addr, _)| addr).collect(),
+            names: syms.into_iter().map(|(_, name)| name.clone()).collect(),
         }
     }
-    best.map(|(n, a)| format!("{n}+{:#x}", pc - a))
+
+    /// Returns the covering symbol and the offset of `pc` into it.
+    pub fn locate(&self, pc: u64) -> Option<(&str, u64)> {
+        let i = self.addrs.partition_point(|&a| a <= pc).checked_sub(1)?;
+        Some((&self.names[i], pc - self.addrs[i]))
+    }
+}
+
+/// Finds the symbol whose address covers `pc` (for diagnostics).
+pub fn symbolize(image: &Image, pc: u64) -> Option<String> {
+    SymbolIndex::new(image).locate(pc).map(|(name, off)| format!("{name}+{off:#x}"))
 }

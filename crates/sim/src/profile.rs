@@ -18,6 +18,11 @@
 //! emitted profile knows the full target list — including targets that
 //! never ran — and can number them by rank in code order, the key the
 //! profile format uses across relinks.
+//!
+//! The range map and counter store are split out ([`ProcMap`],
+//! [`ProfCounts`]) so the block engine's block-granularity profiler
+//! (`om_sim::block`) shares the exact attribution rules and produces
+//! byte-identical profiles.
 
 use crate::exec::{Observer, Retired};
 use om_alpha::{decode, BrOp, Inst, JmpOp};
@@ -25,33 +30,21 @@ use om_core::profile::{CallEdge, ProcProfile, Profile};
 use om_linker::Image;
 use std::collections::HashMap;
 
-/// The profiling observer. Construct with [`ProfileObserver::new`], pass to
-/// [`crate::Machine::run`], then call [`ProfileObserver::finish`].
-pub struct ProfileObserver {
-    /// Procedure ranges, sorted by start address.
-    starts: Vec<u64>,
-    ends: Vec<u64>,
-    names: Vec<String>,
-    /// Per procedure: backward-branch-target address → rank in code order.
-    target_rank: Vec<HashMap<u64, usize>>,
-    /// Per procedure: execution count per target rank.
-    back_counts: Vec<Vec<u64>>,
-    insts: Vec<u64>,
-    calls: Vec<u64>,
-    /// `(caller range, callee range) → count`.
-    edges: HashMap<(usize, usize), u64>,
-    total: u64,
-    /// Cached range index of the current fetch stream.
-    cur: usize,
-    /// The last retired instruction when it was a taken transfer:
-    /// `(pc, inst, range index)`.
-    prev_taken: Option<(u64, Inst, usize)>,
+/// Procedure ranges of a linked image, sorted by start address, plus each
+/// range's statically discovered backward-branch targets (sorted by
+/// address, so rank lookup is a binary search instead of a `HashMap` probe).
+pub(crate) struct ProcMap {
+    pub(crate) starts: Vec<u64>,
+    pub(crate) ends: Vec<u64>,
+    pub(crate) names: Vec<String>,
+    /// Per procedure: backward-branch targets in code order (index = rank).
+    pub(crate) targets: Vec<Vec<u64>>,
 }
 
-impl ProfileObserver {
-    /// Builds the observer for `image`: extracts procedure ranges from the
-    /// symbol map and statically scans each for backward-branch targets.
-    pub fn new(image: &Image) -> ProfileObserver {
+impl ProcMap {
+    /// Extracts procedure ranges from the symbol map and statically scans
+    /// each for backward-branch targets.
+    pub(crate) fn new(image: &Image) -> ProcMap {
         let text = &image.segments[0];
         let text_end = text.base + text.bytes.len() as u64;
         let mut syms: Vec<(u64, String)> = image
@@ -76,41 +69,86 @@ impl ProfileObserver {
         let ends: Vec<u64> =
             (0..n).map(|i| starts.get(i + 1).copied().unwrap_or(text_end)).collect();
 
-        let mut target_rank = Vec::with_capacity(n);
-        let mut back_counts = Vec::with_capacity(n);
-        for i in 0..n {
-            let targets = scan_backward_targets(text.base, &text.bytes, starts[i], ends[i]);
-            back_counts.push(vec![0u64; targets.len()]);
-            target_rank.push(
-                targets.into_iter().enumerate().map(|(rank, pc)| (pc, rank)).collect(),
-            );
-        }
+        let targets = (0..n)
+            .map(|i| scan_backward_targets(text.base, &text.bytes, starts[i], ends[i]))
+            .collect();
 
-        ProfileObserver {
-            starts,
-            ends,
-            names,
-            target_rank,
-            back_counts,
-            insts: vec![0; n],
-            calls: vec![0; n],
-            edges: HashMap::new(),
-            total: 0,
-            cur: 0,
-            prev_taken: None,
-        }
+        ProcMap { starts, ends, names, targets }
     }
 
-    fn locate(&self, pc: u64) -> usize {
-        if pc >= self.starts[self.cur] && pc < self.ends[self.cur] {
-            return self.cur;
+    pub(crate) fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Locates the range covering `pc`, preferring the cached index `cur`
+    /// (the current fetch stream) before binary-searching.
+    pub(crate) fn locate_from(&self, cur: usize, pc: u64) -> usize {
+        if pc >= self.starts[cur] && pc < self.ends[cur] {
+            return cur;
         }
         self.starts.partition_point(|&s| s <= pc).saturating_sub(1)
     }
 
+    /// Rank of `pc` among range `idx`'s backward-branch targets.
+    pub(crate) fn rank(&self, idx: usize, pc: u64) -> Option<usize> {
+        self.targets[idx].binary_search(&pc).ok()
+    }
+}
+
+/// The raw profile counters, attribution rules included — shared verbatim
+/// by the per-instruction observer and the block-granularity profiler.
+pub(crate) struct ProfCounts {
+    /// Per procedure: execution count per backward-target rank.
+    back_counts: Vec<Vec<u64>>,
+    insts: Vec<u64>,
+    calls: Vec<u64>,
+    /// `(caller range, callee range) → count`.
+    edges: HashMap<(usize, usize), u64>,
+    total: u64,
+}
+
+impl ProfCounts {
+    pub(crate) fn new(map: &ProcMap) -> ProfCounts {
+        ProfCounts {
+            back_counts: map.targets.iter().map(|t| vec![0u64; t.len()]).collect(),
+            insts: vec![0; map.len()],
+            calls: vec![0; map.len()],
+            edges: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    pub(crate) fn add_insts(&mut self, idx: usize, n: u64) {
+        self.insts[idx] = self.insts[idx].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Attributes the arrival of a taken transfer `prev = (pc, inst, range)`
+    /// at target `pc` whose range is `idx`: a call edge for BSR/JSR, a
+    /// backward-target execution for an intra-procedure backward branch.
+    pub(crate) fn arrive(
+        &mut self,
+        map: &ProcMap,
+        prev: (u64, Inst, usize),
+        pc: u64,
+        idx: usize,
+    ) {
+        let (ppc, pinst, pidx) = prev;
+        let is_call = matches!(pinst, Inst::Br { op: BrOp::Bsr, .. })
+            || matches!(pinst, Inst::Jmp { op: JmpOp::Jsr, .. });
+        if is_call {
+            self.calls[idx] = self.calls[idx].saturating_add(1);
+            *self.edges.entry((pidx, idx)).or_insert(0) += 1;
+        } else if matches!(pinst, Inst::Br { .. }) && pidx == idx && pc <= ppc {
+            if let Some(rank) = map.rank(idx, pc) {
+                self.back_counts[idx][rank] = self.back_counts[idx][rank].saturating_add(1);
+            }
+        }
+    }
+
     /// Converts the accumulated counts into a normalized [`Profile`].
-    pub fn finish(self) -> Profile {
-        let procs = self
+    pub(crate) fn finish(self, map: &ProcMap) -> Profile {
+        let procs = map
             .names
             .iter()
             .enumerate()
@@ -125,14 +163,41 @@ impl ProfileObserver {
             .edges
             .iter()
             .map(|(&(from, to), &count)| CallEdge {
-                caller: self.names[from].clone(),
-                callee: self.names[to].clone(),
+                caller: map.names[from].clone(),
+                callee: map.names[to].clone(),
                 count,
             })
             .collect();
         let mut profile = Profile { total_insts: self.total, procs, edges };
         profile.normalize();
         profile
+    }
+}
+
+/// The profiling observer. Construct with [`ProfileObserver::new`], pass to
+/// [`crate::Machine::run`], then call [`ProfileObserver::finish`].
+pub struct ProfileObserver {
+    map: ProcMap,
+    counts: ProfCounts,
+    /// Cached range index of the current fetch stream.
+    cur: usize,
+    /// The last retired instruction when it was a taken transfer:
+    /// `(pc, inst, range index)`.
+    prev_taken: Option<(u64, Inst, usize)>,
+}
+
+impl ProfileObserver {
+    /// Builds the observer for `image`: extracts procedure ranges from the
+    /// symbol map and statically scans each for backward-branch targets.
+    pub fn new(image: &Image) -> ProfileObserver {
+        let map = ProcMap::new(image);
+        let counts = ProfCounts::new(&map);
+        ProfileObserver { map, counts, cur: 0, prev_taken: None }
+    }
+
+    /// Converts the accumulated counts into a normalized [`Profile`].
+    pub fn finish(self) -> Profile {
+        self.counts.finish(&self.map)
     }
 }
 
@@ -163,25 +228,14 @@ fn scan_backward_targets(text_base: u64, bytes: &[u8], start: u64, end: u64) -> 
 
 impl Observer for ProfileObserver {
     fn retire(&mut self, r: &Retired) {
-        let idx = self.locate(r.pc);
+        let idx = self.map.locate_from(self.cur, r.pc);
         self.cur = idx;
-        self.insts[idx] = self.insts[idx].saturating_add(1);
-        self.total = self.total.saturating_add(1);
+        self.counts.add_insts(idx, 1);
 
-        if let Some((ppc, pinst, pidx)) = self.prev_taken.take() {
+        if let Some(prev) = self.prev_taken.take() {
             // The previous instruction transferred control here: r.pc is the
             // target the Retired record itself cannot carry.
-            let is_call = matches!(pinst, Inst::Br { op: BrOp::Bsr, .. })
-                || matches!(pinst, Inst::Jmp { op: JmpOp::Jsr, .. });
-            if is_call {
-                self.calls[idx] = self.calls[idx].saturating_add(1);
-                *self.edges.entry((pidx, idx)).or_insert(0) += 1;
-            } else if matches!(pinst, Inst::Br { .. }) && pidx == idx && r.pc <= ppc {
-                if let Some(&rank) = self.target_rank[idx].get(&r.pc) {
-                    self.back_counts[idx][rank] =
-                        self.back_counts[idx][rank].saturating_add(1);
-                }
-            }
+            self.counts.arrive(&self.map, prev, r.pc, idx);
         }
         if r.taken {
             self.prev_taken = Some((r.pc, r.inst, idx));

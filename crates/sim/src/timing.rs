@@ -43,6 +43,23 @@ impl Cache {
         }
     }
 
+    /// Line-address shift (log2 of the line size).
+    pub(crate) fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
+    /// Read-only probe: whether `addr` currently hits. No counter updates,
+    /// no allocation — the block engine's fused fast path uses this to
+    /// decide whether a whole block's accesses can be committed at once.
+    pub(crate) fn peek(&self, addr: u64) -> bool {
+        self.peek_line(addr >> self.line_shift)
+    }
+
+    /// Read-only probe by line number (`addr >> line_shift`).
+    pub(crate) fn peek_line(&self, line: u64) -> bool {
+        self.tags[(line & self.set_mask) as usize] == line
+    }
+
     /// Accesses `addr`; returns the added stall cycles (0 on hit).
     pub fn access(&mut self, addr: u64, allocate: bool) -> u64 {
         let line = addr >> self.line_shift;

@@ -27,8 +27,11 @@ cargo test -q -p om-core --test snapshot
 echo "== PGO differential sweep (profile -> relink -> re-diff checksums) =="
 cargo test -q -p om-core --test verify_all pgo_relink
 
+echo "== block-engine equivalence battery (19 workloads x 9 variants) =="
+cargo test -q --release -p om-sim --test block_equiv
+
 echo "== figure drift =="
-scripts/bench.sh
+scripts/bench.sh --refresh
 
 echo "== differential fuzz ($seeds seeds) =="
 cargo run --release -p om-bench --bin omfuzz -- --seeds "$seeds"
