@@ -1,0 +1,183 @@
+//! `omfleet` — the CI-fleet relink benchmark, standalone.
+//!
+//! ```text
+//! omfleet [--smoke] [--quick] [--bench NAME]... [--json PATH]
+//! ```
+//!
+//! Default: runs the full relink storm (10 edits × 5 repeats, 8 client
+//! threads) over every workload and prints the fleet table.
+//!
+//! `--smoke` is the bounded CI gate: a handful of quick workloads, the
+//! quick storm shape, plus one socket round trip — and it *fails* (exit 1)
+//! if any benchmark's per-module hit rate drops below the 80% floor, any
+//! served image differs from the one-shot pipeline, or the socket relink
+//! misbehaves.
+
+use om_bench::figures::Prepared;
+use om_bench::fleet::{fleet, FleetConfig, HIT_RATE_FLOOR};
+use om_bench::{json, render};
+use om_core::OmLevel;
+use om_omd::{serve, Client, LinkServer};
+use om_workloads::spec;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workloads the smoke gate exercises (small, fast to build).
+const SMOKE_BENCHES: usize = 6;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: omfleet [--smoke] [--quick] [--bench NAME]... [--json PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let t_start = Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut quick = false;
+    let mut filter: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--quick" => quick = true,
+            "--bench" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) if !name.is_empty() && !name.starts_with('-') => {
+                        filter.push(name.clone());
+                    }
+                    _ => usage("--bench needs a benchmark name"),
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) if !path.is_empty() => json_path = Some(path.clone()),
+                    _ => usage("--json needs an output path"),
+                }
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut specs: Vec<_> = spec::all()
+        .into_iter()
+        .filter(|s| filter.is_empty() || filter.iter().any(|f| f == s.name))
+        .collect();
+    if smoke && filter.is_empty() {
+        specs.truncate(SMOKE_BENCHES);
+    }
+    if specs.is_empty() {
+        eprintln!("no benchmarks match the filter");
+        std::process::exit(2);
+    }
+    let quick = quick || smoke;
+    let specs: Vec<_> = specs
+        .into_iter()
+        .map(|s| if quick { spec::quick(&s) } else { s })
+        .collect();
+    let cfg = if quick { FleetConfig::quick() } else { FleetConfig::full() };
+
+    eprintln!(
+        "fleet: {} benchmarks, {} edits x {} repeats at {} threads...",
+        specs.len(),
+        cfg.edits,
+        cfg.repeats,
+        cfg.jobs
+    );
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut relinks = 0usize;
+    for s in &specs {
+        let p = Prepared::new(s);
+        let row = fleet(&p, &cfg);
+        relinks += row.requests;
+        if row.hit_rate < HIT_RATE_FLOOR {
+            failures.push(format!(
+                "{}: hit rate {:.1}% below the {:.0}% floor",
+                s.name,
+                row.hit_rate * 100.0,
+                HIT_RATE_FLOOR * 100.0
+            ));
+        }
+        if !row.byte_identical {
+            failures.push(format!("{}: served image differs from one-shot pipeline", s.name));
+        }
+        let mut r = om_bench::figures::measure(&p, Default::default());
+        r.fleet = Some(row);
+        rows.push(r);
+    }
+
+    if smoke {
+        if let Err(e) = socket_smoke(&specs[0]) {
+            failures.push(format!("socket: {e}"));
+        }
+    }
+
+    print!(
+        "{}",
+        render::fleet(
+            &rows
+                .iter()
+                .filter_map(|r| r.fleet.map(|x| (r.name.clone(), x)))
+                .collect::<Vec<_>>()
+        )
+    );
+    eprintln!("fleet: {relinks} measured relinks in {:.1}s", t_start.elapsed().as_secs_f64());
+
+    if let Some(path) = json_path {
+        let report = json::report(&rows, quick, cfg.jobs, t_start.elapsed().as_secs_f64(), (0.0, 0.0, 0.0));
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FLEET FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    if smoke {
+        eprintln!("fleet smoke: OK");
+    }
+}
+
+/// One relink pair over the unix-socket front end: the second request must
+/// be a cache hit and both images byte-identical.
+fn socket_smoke(s: &om_workloads::gen::BenchSpec) -> Result<(), String> {
+    let b = om_workloads::build::build(s, om_workloads::build::CompileMode::Each)
+        .map_err(|e| e.to_string())?;
+    let path = std::env::temp_dir().join(format!("omfleet-{}.sock", std::process::id()));
+    let handle = serve(&path, Arc::new(LinkServer::new(b.libs.to_vec())))
+        .map_err(|e| e.to_string())?;
+    let run = || -> Result<(), String> {
+        let mut client = Client::connect(&path).map_err(|e| e.to_string())?;
+        client.ping().map_err(|e| e.to_string())?;
+        let (hit1, img1) = client
+            .link(&b.objects, OmLevel::FullSched, true)
+            .map_err(|e| e.to_string())??;
+        let (hit2, img2) = client
+            .link(&b.objects, OmLevel::FullSched, true)
+            .map_err(|e| e.to_string())??;
+        if hit1 {
+            return Err("first socket relink reported a cache hit".to_string());
+        }
+        if !hit2 {
+            return Err("second socket relink missed the cache".to_string());
+        }
+        if img1.to_bytes() != img2.to_bytes() {
+            return Err("socket relink images differ".to_string());
+        }
+        Ok(())
+    };
+    let result = run();
+    handle.shutdown();
+    result
+}

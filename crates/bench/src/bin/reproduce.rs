@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [pgo] [all]
+//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [pgo] [fleet] [all]
 //!           [--quick] [--bench NAME]... [--jobs N] [--json PATH]
 //! ```
 //!
@@ -13,17 +13,18 @@
 //! readable per-figure rows plus harness wall-clock and per-phase timings.
 
 use om_bench::figures::{self, phase, Prepared, Selection};
+use om_bench::fleet::{self, FleetConfig};
 use om_bench::par::{default_jobs, parallel_map};
 use om_bench::{json, render};
 use om_workloads::spec;
 use std::time::Instant;
 
-const FIGURES: [&str; 7] = ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo"];
+const FIGURES: [&str; 8] = ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo", "fleet"];
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|all] [--quick] \
+        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|fleet|all] [--quick] \
          [--bench NAME]... [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
@@ -101,6 +102,7 @@ fn main() {
         fig7: which.contains(&"fig7"),
         gat: which.contains(&"gat"),
         pgo: which.contains(&"pgo"),
+        fleet: which.contains(&"fleet"),
     };
 
     eprintln!(
@@ -117,11 +119,21 @@ fn main() {
     }
     // Figure 7 measures pipeline wall-clock, so it runs sequentially after
     // the parallel pass — concurrent workers would contend and inflate it.
-    let par_sel = Selection { fig7: false, ..sel };
+    let par_sel = Selection { fig7: false, fleet: false, ..sel };
     let mut rows = parallel_map(jobs, &prepared, |p| figures::measure(p, par_sel));
     if sel.fig7 {
         for (r, p) in rows.iter_mut().zip(&prepared) {
             r.fig7 = Some(figures::fig7(p));
+        }
+    }
+    if sel.fleet {
+        // Like fig7: sequential across benchmarks (the storm is internally
+        // parallel), so latency numbers are not inflated by contention.
+        let cfg = if quick { FleetConfig::quick() } else { FleetConfig::full() };
+        eprintln!("fleet: relink storm ({} edits x {} repeats, {} threads)...",
+            cfg.edits, cfg.repeats, cfg.jobs);
+        for (r, p) in rows.iter_mut().zip(&prepared) {
+            r.fleet = Some(fleet::fleet(p, &cfg));
         }
     }
 
@@ -142,6 +154,7 @@ fn main() {
             "fig7" => println!("{}", render::fig7(&rows_of!(fig7))),
             "gat" => println!("{}", render::gat(&rows_of!(gat))),
             "pgo" => println!("{}", render::pgo(&rows_of!(pgo))),
+            "fleet" => println!("{}", render::fleet(&rows_of!(fleet))),
             _ => unreachable!(),
         }
     }

@@ -14,13 +14,15 @@
 //! concurrently with shared references. Figure 7 is the deliberate
 //! exception — it times fresh pipeline runs, so it bypasses every cache.
 
-use om_core::{optimize_and_link, optimize_and_link_with, OmLevel, OmOptions, OmOutput, OmStats, Profile};
+use om_core::{
+    optimize_and_link, optimize_and_link_cached, OmLevel, OmOptions, OmOutput, OmStats, Profile,
+};
 use om_linker::{link_modules, Image, LayoutOpts};
 use om_sim::{run_profiled_fast, run_timed_fast, TimingStats};
 use om_workloads::build::{build, BuiltBenchmark, CompileMode};
 use om_workloads::gen::BenchSpec;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Simulator instruction budget per run.
@@ -65,8 +67,10 @@ pub struct Prepared {
     pub each: BuiltBenchmark,
     pub all: BuiltBenchmark,
     /// OM results, indexed `[mode.index()][level.index()]`, computed on
-    /// first use.
-    om: [[OnceLock<OmOutput>; OmLevel::ALL.len()]; CompileMode::ALL.len()],
+    /// first use through the process-wide relink cache
+    /// ([`om_core::cache::shared`]) — the promotion of this struct's
+    /// original private `OnceLock` grid to a store `omd` shares.
+    om: [[OnceLock<Arc<OmOutput>>; OmLevel::ALL.len()]; CompileMode::ALL.len()],
     /// Standard-link images per mode, computed on first use.
     std_image: [OnceLock<Image>; CompileMode::ALL.len()],
     /// Execution profiles per mode (one functional run of the cached
@@ -74,7 +78,7 @@ pub struct Prepared {
     profile: [OnceLock<Profile>; CompileMode::ALL.len()],
     /// Profile-guided relinks per mode (built with verification on),
     /// computed on first use.
-    pgo: [OnceLock<OmOutput>; CompileMode::ALL.len()],
+    pgo: [OnceLock<Arc<OmOutput>>; CompileMode::ALL.len()],
     /// Cumulative simulator wall time spent on this benchmark, in
     /// nanoseconds (the per-benchmark slice of [`phase::totals`]'s sim
     /// column). Report-only.
@@ -132,8 +136,14 @@ impl Prepared {
         self.om[mode.index()][level.index()].get_or_init(|| {
             let b = self.built(mode);
             let t0 = Instant::now();
-            let out = optimize_and_link(&b.objects, &b.libs, level)
-                .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
+            let (out, _) = optimize_and_link_cached(
+                &b.objects,
+                &b.libs,
+                level,
+                &OmOptions::default(),
+                om_core::cache::shared(),
+            )
+            .unwrap_or_else(|e| panic!("{} {}: {e}", self.spec.name, level.name()));
             phase::add_om(t0.elapsed());
             out
         })
@@ -224,9 +234,14 @@ impl Prepared {
             };
             let b = self.built(mode);
             let t0 = Instant::now();
-            let out =
-                optimize_and_link_with(&b.objects, &b.libs, OmLevel::FullSched, &options)
-                    .unwrap_or_else(|e| panic!("{} pgo: {e}", self.spec.name));
+            let (out, _) = optimize_and_link_cached(
+                &b.objects,
+                &b.libs,
+                OmLevel::FullSched,
+                &options,
+                om_core::cache::shared(),
+            )
+            .unwrap_or_else(|e| panic!("{} pgo: {e}", self.spec.name));
             phase::add_om(t0.elapsed());
             out
         })
@@ -489,6 +504,9 @@ pub struct Selection {
     pub fig7: bool,
     pub gat: bool,
     pub pgo: bool,
+    /// The CI-fleet relink storm ([`crate::fleet`]). Like `fig7`, measured
+    /// sequentially by the harness (the storm is internally parallel).
+    pub fleet: bool,
 }
 
 impl Selection {
@@ -502,6 +520,7 @@ impl Selection {
             fig7: true,
             gat: true,
             pgo: true,
+            fleet: true,
         }
     }
 }
@@ -518,6 +537,9 @@ pub struct BenchRows {
     pub fig7: Option<Fig7Row>,
     pub gat: Option<GatRow>,
     pub pgo: Option<PgoRow>,
+    /// The CI-fleet relink storm, filled in by the harness after the
+    /// parallel measurement pass (like `fig7`).
+    pub fleet: Option<crate::fleet::FleetRow>,
     /// Simulator seconds this benchmark spent across all its runs
     /// (report-only; excluded from baseline diffs like fig7).
     pub sim_seconds: f64,
@@ -541,6 +563,7 @@ pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
             eprintln!("  pgo: {}", p.spec.name);
             pgo(p)
         }),
+        fleet: None,
         sim_seconds: 0.0,
     };
     // Sampled after every figure above has run, so it covers the whole

@@ -134,6 +134,30 @@ fn rows_for(out: &mut String, r: &BenchRows) -> usize {
         }
         push_row(out, "pgo", &r.name, &fields);
     }
+    if let Some(x) = r.fleet {
+        sep(out);
+        // Latency and throughput are wall-clock; bench.sh excludes the
+        // whole fleet row from baseline diffs (like fig7 and simsec).
+        push_row(
+            out,
+            "fleet",
+            &r.name,
+            &[
+                ("requests", x.requests.to_string()),
+                ("threads", x.threads.to_string()),
+                ("modules", x.modules.to_string()),
+                ("module_hits", x.module_hits.to_string()),
+                ("module_misses", x.module_misses.to_string()),
+                ("link_hits", x.link_hits.to_string()),
+                ("link_misses", x.link_misses.to_string()),
+                ("hit_rate", f(x.hit_rate)),
+                ("p50_us", x.p50_us.to_string()),
+                ("p99_us", x.p99_us.to_string()),
+                ("rps", f(x.rps)),
+                ("byte_identical", x.byte_identical.to_string()),
+            ],
+        );
+    }
     if r.sim_seconds > 0.0 {
         sep(out);
         // Wall-clock, like fig7: report-only, excluded from baseline diffs.
@@ -218,17 +242,33 @@ mod tests {
                 procs_moved: [2, 3],
                 targets: [(4, 1), (5, 0)],
             }),
+            fleet: Some(crate::fleet::FleetRow {
+                requests: 12,
+                threads: 4,
+                modules: 5,
+                module_hits: 16,
+                module_misses: 4,
+                link_hits: 8,
+                link_misses: 4,
+                hit_rate: 0.9333333333333333,
+                p50_us: 120,
+                p99_us: 900,
+                rps: 250.0,
+                byte_identical: true,
+            }),
             sim_seconds: 0.375,
         }];
         let s = report(&rows, true, 4, 1.5, (0.5, 0.25, 0.75));
         let bench_lines: Vec<&str> = s.lines().filter(|l| l.contains("\"bench\"")).collect();
-        assert_eq!(bench_lines.len(), 4, "{s}");
+        assert_eq!(bench_lines.len(), 5, "{s}");
         assert!(bench_lines[0].contains("\"fig\":\"fig5\""), "{s}");
         assert!(bench_lines[1].contains("\"each_before\":40"), "{s}");
         assert!(bench_lines[2].contains("\"fig\":\"pgo\""), "{s}");
         assert!(bench_lines[2].contains("\"pgo_cycles_each\":950"), "{s}");
-        assert!(bench_lines[3].contains("\"fig\":\"simsec\""), "{s}");
-        assert!(bench_lines[3].contains("\"engine\":\"block\""), "{s}");
+        assert!(bench_lines[3].contains("\"fig\":\"fleet\""), "{s}");
+        assert!(bench_lines[3].contains("\"byte_identical\":true"), "{s}");
+        assert!(bench_lines[4].contains("\"fig\":\"simsec\""), "{s}");
+        assert!(bench_lines[4].contains("\"engine\":\"block\""), "{s}");
         assert!(s.contains("\"engine\": \"block\""), "{s}");
         assert!(s.contains("\"phase_seconds\""), "{s}");
         // Valid-enough JSON: balanced braces/brackets on the skeleton.

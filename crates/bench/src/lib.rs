@@ -21,6 +21,7 @@
 //! byte-identical at any `--jobs` width.
 
 pub mod figures;
+pub mod fleet;
 pub mod fuzz;
 pub mod json;
 pub mod mutate;

@@ -341,6 +341,47 @@ pub fn pgo(rows: &[(String, PgoRow)]) -> String {
     out
 }
 
+/// Renders the CI-fleet relink table.
+pub fn fleet(rows: &[(String, crate::fleet::FleetRow)]) -> String {
+    let mut out = String::new();
+    out.push_str("CI fleet: cached relinks after single-module edits (omd link server)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:>4} {:>3} {:>4} | {:>6} {:>6} | {:>6} {:>8} {:>8} {:>8} | {:>5}\n",
+        "benchmark", "req", "thr", "mods", "l.hit", "l.miss", "hit%", "p50us", "p99us", "req/s",
+        "ident"
+    ));
+    out.push_str(&"-".repeat(86));
+    out.push('\n');
+    let mut rates = Vec::new();
+    for (name, r) in rows {
+        rates.push(r.hit_rate);
+        out.push_str(&format!(
+            "{:10} | {:>4} {:>3} {:>4} | {:>6} {:>6} | {:>6} {:>8} {:>8} {:>8.1} | {:>5}\n",
+            name,
+            r.requests,
+            r.threads,
+            r.modules,
+            r.link_hits,
+            r.link_misses,
+            pct(r.hit_rate),
+            r.p50_us,
+            r.p99_us,
+            r.rps,
+            if r.byte_identical { "yes" } else { "NO" }
+        ));
+    }
+    out.push_str(&"-".repeat(86));
+    out.push('\n');
+    if !rates.is_empty() {
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        out.push_str(&format!(
+            "{:10} | {:>4} {:>3} {:>4} | {:>6} {:>6} | {:>6}\n",
+            "MEAN", "", "", "", "", "", pct(mean)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,7 +40,7 @@ impl Snapshot {
     ///
     /// Propagates symbol-table or layout failures.
     pub fn capture_with(program: &SymProgram, sort_commons: bool) -> Result<Snapshot, OmError> {
-        let modules = crate::sym::emit_all(program);
+        let modules = crate::sym::emit_all(program)?;
         let symtab = om_linker::build_symbol_table(&modules)?;
         let lay = layout(&modules, &symtab, &LayoutOpts { sort_commons })?;
         Ok(Snapshot { modules, symtab, layout: lay })

@@ -38,8 +38,10 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod fault;
 pub mod full;
+pub mod hash;
 pub mod pgo;
 pub mod pipeline;
 pub mod profile;
@@ -49,10 +51,13 @@ pub mod stats;
 pub mod sym;
 pub mod verify;
 
+pub use cache::{CacheStats, Lru, OmCaches};
 pub use fault::{FaultKind, FaultPlan};
+pub use hash::{archive_hash, link_key, module_hash, options_fingerprint, ContentHash};
 pub use pipeline::{
-    optimize_and_link, optimize_and_link_artifacts, optimize_and_link_with, pipeline_runs,
-    CallBook, Emitted, OmLevel, OmOptions, OmOutput,
+    optimize_and_link, optimize_and_link_artifacts, optimize_and_link_cached,
+    optimize_and_link_keyed, optimize_and_link_with, pipeline_runs, CallBook, Emitted, OmLevel,
+    OmOptions, OmOutput,
 };
 pub use profile::{CallEdge, ProcProfile, Profile, ProfileError};
 pub use stats::OmStats;

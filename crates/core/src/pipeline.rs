@@ -3,17 +3,21 @@
 //! link step entirely.
 
 use crate::analysis::{call_sites, CallKind, Snapshot};
+use crate::cache::OmCaches;
+use crate::hash::{archive_hash, link_key, module_hash, ContentHash};
 use crate::stats::OmStats;
-use crate::sym::{translate, InstId, OmError, SymProgram};
+use crate::sym::{resolve_symbolic, translate_module, InstId, LocalSymModule, OmError, SymProgram};
 use om_linker::{build_symbol_table, link_modules, select_modules, Image, LayoutOpts, LinkStats};
 use om_objfile::{Archive, Module};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Process-wide count of OM pipeline executions ([`optimize_and_link_with`]
-/// entries). The evaluation harness memoizes per-configuration results and
-/// uses this counter to prove each `(benchmark, mode, level)` pipeline runs
-/// at most once per invocation.
+/// Process-wide count of real OM pipeline executions (cache hits in
+/// [`optimize_and_link_cached`] do not count). The evaluation harness and
+/// the relink-cache tests use this counter to prove each unique
+/// `(benchmark, mode, level)` configuration runs at most once per
+/// invocation.
 static PIPELINE_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Total [`optimize_and_link_with`] executions in this process so far.
@@ -225,10 +229,89 @@ pub fn optimize_and_link_artifacts(
     level: OmLevel,
     options: &OmOptions,
 ) -> Result<(OmOutput, Emitted), OmError> {
+    run_pipeline(objects, libs, level, options, None)
+}
+
+/// [`optimize_and_link_with`] through a shared [`OmCaches`]: the whole link
+/// is served from the link cache when its content key matches, and on a
+/// link-cache miss each module's translation artifact is fetched from (or
+/// inserted into) the per-module cache. Returns the output and whether the
+/// *link* was a cache hit.
+///
+/// Byte-identical to the uncached pipeline by construction: cached values
+/// are exactly what the uncached computation produced for identical inputs.
+///
+/// # Errors
+///
+/// Returns [`OmError`] for malformed input or link failures. Errors are
+/// never cached — a failed request releases its cache reservation.
+pub fn optimize_and_link_cached(
+    objects: &[Module],
+    libs: &[Archive],
+    level: OmLevel,
+    options: &OmOptions,
+    caches: &OmCaches,
+) -> Result<(Arc<OmOutput>, bool), OmError> {
+    let lib_hashes: Vec<ContentHash> = libs.iter().map(archive_hash).collect();
+    optimize_and_link_keyed(objects, libs, &lib_hashes, level, options, caches)
+}
+
+/// [`optimize_and_link_cached`] with the library digests precomputed — a
+/// long-running server hashes its archives once, not per request.
+///
+/// # Errors
+///
+/// See [`optimize_and_link_cached`].
+pub fn optimize_and_link_keyed(
+    objects: &[Module],
+    libs: &[Archive],
+    lib_hashes: &[ContentHash],
+    level: OmLevel,
+    options: &OmOptions,
+    caches: &OmCaches,
+) -> Result<(Arc<OmOutput>, bool), OmError> {
+    let module_hashes: Vec<ContentHash> = objects.iter().map(module_hash).collect();
+    let key = link_key(&module_hashes, lib_hashes, level, options);
+    caches
+        .links
+        .get_or_try(key, || {
+            run_pipeline(objects, libs, level, options, Some(caches)).map(|(out, _)| out)
+        })
+        .map(|(out, hit)| (out, hit))
+}
+
+fn run_pipeline(
+    objects: &[Module],
+    libs: &[Archive],
+    level: OmLevel,
+    options: &OmOptions,
+    caches: Option<&OmCaches>,
+) -> Result<(OmOutput, Emitted), OmError> {
     PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed);
     let modules = select_modules(objects, libs)?;
     let symtab = build_symbol_table(&modules)?;
-    let mut program = translate(&modules, &symtab)?;
+    let mut program = match caches {
+        None => {
+            let locals = modules
+                .iter()
+                .map(translate_module)
+                .collect::<Result<Vec<LocalSymModule>, _>>()?;
+            resolve_symbolic(&locals, &symtab)
+        }
+        Some(c) => {
+            // Per-module translation through the shared cache: an edited
+            // module re-translates; everything else is reused by content.
+            let locals = modules
+                .iter()
+                .map(|m| {
+                    c.modules
+                        .get_or_try(module_hash(m), || translate_module(m))
+                        .map(|(v, _)| v)
+                })
+                .collect::<Result<Vec<Arc<LocalSymModule>>, OmError>>()?;
+            resolve_symbolic(&locals, &symtab)
+        }
+    };
 
     let mut stats = OmStats::default();
     let mut book: CallBook = HashMap::new();
@@ -268,7 +351,7 @@ pub fn optimize_and_link_artifacts(
     }
 
     // Final link with OM's layout policy.
-    let final_modules = crate::sym::emit_all(&program);
+    let final_modules = crate::sym::emit_all(&program)?;
     stats.gat_slots_after = {
         let st = build_symbol_table(&final_modules)?;
         om_linker::layout(&final_modules, &st, &LayoutOpts { sort_commons: options.sort_commons })?

@@ -593,7 +593,7 @@ mod tests {
         let modules = om_linker::select_modules(&b.objects, &b.libs).unwrap();
         let symtab = om_linker::build_symbol_table(&modules).unwrap();
         let program = crate::sym::translate(&modules, &symtab).unwrap();
-        let final_modules = crate::sym::emit_all(&program);
+        let final_modules = crate::sym::emit_all(&program).unwrap();
         let symtab = om_linker::build_symbol_table(&final_modules).unwrap();
         let layout = om_linker::layout(
             &final_modules,

@@ -1,0 +1,93 @@
+//! Counter tests of the cached pipeline entry points, mirroring the
+//! `pipeline_runs()` memoization tests in `om-bench`: cache hits must skip
+//! the pipeline entirely, and a single-module edit must invalidate exactly
+//! that module's translation entry.
+
+use om_codegen::{compile_source, crt0, CompileOpts};
+use om_core::{
+    optimize_and_link_cached, pipeline_runs, OmCaches, OmLevel, OmOptions,
+};
+use om_objfile::Module;
+
+fn program(tag: &str, helper_body: &str) -> Vec<Module> {
+    let opts = CompileOpts::o2();
+    vec![
+        crt0::module().unwrap(),
+        compile_source(
+            &format!("main_{tag}"),
+            "extern int helper(int);
+             int acc;
+             int main() { int i = 0;
+                for (i = 0; i < 4; i = i + 1) { acc = acc + helper(i); }
+                return acc; }",
+            &opts,
+        )
+        .unwrap(),
+        compile_source(&format!("helper_{tag}"), helper_body, &opts).unwrap(),
+    ]
+}
+
+#[test]
+fn link_cache_hits_skip_the_pipeline() {
+    // Unique sources so this test's keys cannot collide with other tests
+    // sharing the process (mirrors the memoize.rs convention).
+    let objects = program("skip", "int helper(int x) { return x + 7; }");
+    let caches = OmCaches::default();
+    let options = OmOptions::default();
+
+    let runs0 = pipeline_runs();
+    let (first, hit1) =
+        optimize_and_link_cached(&objects, &[], OmLevel::Full, &options, &caches).unwrap();
+    assert!(!hit1);
+    assert_eq!(pipeline_runs() - runs0, 1, "a cold link runs the pipeline once");
+
+    let (second, hit2) =
+        optimize_and_link_cached(&objects, &[], OmLevel::Full, &options, &caches).unwrap();
+    assert!(hit2);
+    assert_eq!(pipeline_runs() - runs0, 1, "a link-cache hit must not re-run the pipeline");
+    assert_eq!(first.image.to_bytes(), second.image.to_bytes());
+
+    // A different level is a different key: the pipeline runs again.
+    let (_, hit3) =
+        optimize_and_link_cached(&objects, &[], OmLevel::Simple, &options, &caches).unwrap();
+    assert!(!hit3);
+    assert_eq!(pipeline_runs() - runs0, 2);
+}
+
+#[test]
+fn single_module_edit_invalidates_exactly_one_translation() {
+    let caches = OmCaches::default();
+    let options = OmOptions::default();
+
+    let before = program("edit", "int helper(int x) { return x * 5; }");
+    optimize_and_link_cached(&before, &[], OmLevel::Full, &options, &caches).unwrap();
+    let base = caches.modules.stats();
+    assert_eq!(base.misses, 3, "cold link translates each of the three modules once");
+    assert_eq!(base.hits, 0);
+
+    let after = program("edit", "int helper(int x) { return x * 6; }");
+    let (out, hit) =
+        optimize_and_link_cached(&after, &[], OmLevel::Full, &options, &caches).unwrap();
+    assert!(!hit, "an edited module changes the link key");
+    let now = caches.modules.stats();
+    assert_eq!(now.misses - base.misses, 1, "only the edited module re-translates");
+    assert_eq!(now.hits - base.hits, 2, "the unchanged modules are served from cache");
+
+    let run = om_sim::run_image(&out.image, 1_000_000).unwrap();
+    assert_eq!(run.result, (0..4).map(|i| i * 6).sum::<i64>());
+}
+
+#[test]
+fn identical_requests_share_one_translation_per_module() {
+    let caches = OmCaches::default();
+    let options = OmOptions::default();
+    let objects = program("share", "int helper(int x) { return x - 1; }");
+
+    // Two different levels share the module cache even though their link
+    // keys differ: per-module translation happens once per content hash.
+    optimize_and_link_cached(&objects, &[], OmLevel::Simple, &options, &caches).unwrap();
+    optimize_and_link_cached(&objects, &[], OmLevel::FullSched, &options, &caches).unwrap();
+    let stats = caches.modules.stats();
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.hits, 3, "the second level re-uses all three translations");
+}

@@ -30,7 +30,7 @@ fn translate_emit_roundtrip_is_identity_on_code() {
          int touch(int i) { work[i & 7] = g + helper(i); return work[i & 7]; }
          int main() { int i = 0; for (i = 0; i < 5; i = i + 1) { g = g + touch(i); } return g; }",
     )]);
-    let emitted = emit_all(&program);
+    let emitted = emit_all(&program).unwrap();
     assert_eq!(modules.len(), emitted.len());
     for (orig, back) in modules.iter().zip(&emitted) {
         assert_eq!(orig.text, back.text, "text of `{}` must round-trip", orig.name);
@@ -175,7 +175,7 @@ fn restore_prologues_brings_scheduled_pairs_home() {
         assert_eq!((hi, lo), (0, 1), "pair restored in {}", p.name);
     }
     // Restoration is semantics-preserving structurally: emit must validate.
-    for m in emit_all(&program) {
+    for m in emit_all(&program).unwrap() {
         m.validate().unwrap();
     }
 }

@@ -11,6 +11,10 @@ pub enum LinkError {
     Duplicate { name: String, modules: (String, String) },
     /// A displacement no longer fits its instruction field.
     Range { what: String },
+    /// A relocation kind/section combination the linker does not handle —
+    /// malformed (or hostile) input, reported instead of crashing so a
+    /// long-running link server fails the request, not the process.
+    Unsupported { what: String },
     /// A module failed structural validation.
     Object(om_objfile::ObjError),
     /// The program has no `__start`.
@@ -29,6 +33,7 @@ impl fmt::Display for LinkError {
                 modules.0, modules.1
             ),
             LinkError::Range { what } => write!(f, "relocation out of range: {what}"),
+            LinkError::Unsupported { what } => write!(f, "unsupported relocation: {what}"),
             LinkError::Object(e) => write!(f, "{e}"),
             LinkError::NoEntry => write!(f, "no `__start` symbol in the program"),
         }

@@ -7,17 +7,36 @@ use crate::resolve::SymbolTable;
 use om_objfile::{Module, RelocKind, SecId, SymbolDef, Visibility, DATA_BASE};
 use std::collections::HashMap;
 
-fn patch16(buf: &mut [u8], off: usize, v: i16) {
-    buf[off..off + 2].copy_from_slice(&(v as u16).to_le_bytes());
+// The patch helpers bounds-check every write: relocation offsets are
+// validated against their module's section extents up front, but segment
+// offsets here are *derived* (module base + relocation offset), so a checked
+// slice turns any inconsistency into a typed error instead of a panic — a
+// daemon serving link requests must never abort on one bad input.
+
+fn patched<'a>(buf: &'a mut [u8], off: usize, width: usize) -> Result<&'a mut [u8], LinkError> {
+    buf.get_mut(off..off.saturating_add(width)).ok_or_else(|| LinkError::Range {
+        what: format!("{width}-byte patch at +{off:#x} outside its segment"),
+    })
+}
+
+fn patch16(buf: &mut [u8], off: usize, v: i16) -> Result<(), LinkError> {
+    patched(buf, off, 2)?.copy_from_slice(&(v as u16).to_le_bytes());
+    Ok(())
+}
+
+fn patch64(buf: &mut [u8], off: usize, v: u64) -> Result<(), LinkError> {
+    patched(buf, off, 8)?.copy_from_slice(&v.to_le_bytes());
+    Ok(())
 }
 
 fn patch_branch(buf: &mut [u8], off: usize, disp: i32) -> Result<(), LinkError> {
     if !(-(1 << 20)..(1 << 20)).contains(&disp) {
         return Err(LinkError::Range { what: format!("branch displacement {disp}") });
     }
-    let mut word = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+    let field = patched(buf, off, 4)?;
+    let mut word = u32::from_le_bytes(field[..4].try_into().unwrap());
     word = (word & 0xFFE0_0000) | (disp as u32 & 0x001F_FFFF);
-    buf[off..off + 4].copy_from_slice(&word.to_le_bytes());
+    field.copy_from_slice(&word.to_le_bytes());
     Ok(())
 }
 
@@ -76,8 +95,7 @@ pub fn build_image(
         for (li, e) in m.lita.iter().enumerate() {
             let v = (sym_addr(modules, symtab, layout, mi, e.sym)? as i64 + e.addend) as u64;
             let slot = layout.lita_addr[mi][li];
-            let off = (slot - DATA_BASE) as usize;
-            data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            patch64(&mut data, (slot - DATA_BASE) as usize, v)?;
         }
     }
 
@@ -94,15 +112,15 @@ pub fn build_image(
                         what: format!("GAT slot {disp} bytes from GP in `{}`", m.name),
                     })?;
                     let off = (bases.text - layout.info.text.base + r.offset) as usize;
-                    patch16(&mut text, off, d);
+                    patch16(&mut text, off, d)?;
                 }
                 (SecId::Text, RelocKind::Gpdisp { pair_offset, anchor, .. }) => {
                     let disp = gp as i64 - (bases.text + anchor) as i64;
                     let (hi, lo) = split_gpdisp(disp)?;
                     let hi_off = (bases.text - layout.info.text.base + r.offset) as usize;
                     let lo_off = (hi_off as i64 + pair_offset) as usize;
-                    patch16(&mut text, hi_off, hi);
-                    patch16(&mut text, lo_off, lo);
+                    patch16(&mut text, hi_off, hi)?;
+                    patch16(&mut text, lo_off, lo)?;
                 }
                 (SecId::Text, RelocKind::BrAddr { sym, addend }) => {
                     let target = (sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend) as u64;
@@ -127,13 +145,13 @@ pub fn build_image(
                         what: format!("gprel16 {disp} in `{}`", m.name),
                     })?;
                     let off = (bases.text - layout.info.text.base + r.offset) as usize;
-                    patch16(&mut text, off, d);
+                    patch16(&mut text, off, d)?;
                 }
                 (SecId::Text, RelocKind::GprelHigh { sym, addend, .. }) => {
                     let target = sym_addr(modules, symtab, layout, mi, *sym)? as i64 + addend;
                     let (hi, _) = split_gpdisp(target - gp as i64)?;
                     let off = (bases.text - layout.info.text.base + r.offset) as usize;
-                    patch16(&mut text, off, hi);
+                    patch16(&mut text, off, hi)?;
                 }
                 (SecId::Text, RelocKind::GprelLow { sym, addend, hi_addend, .. }) => {
                     let target = sym_addr(modules, symtab, layout, mi, *sym)?;
@@ -143,7 +161,7 @@ pub fn build_image(
                         what: format!("gprellow {disp} in `{}`", m.name),
                     })?;
                     let off = (bases.text - layout.info.text.base + r.offset) as usize;
-                    patch16(&mut text, off, d);
+                    patch16(&mut text, off, d)?;
                 }
                 (SecId::Text, _) => {} // LITUSE hints need no patching
                 (sec, RelocKind::RefQuad { sym, addend }) => {
@@ -152,17 +170,16 @@ pub fn build_image(
                         SecId::Data => bases.data,
                         SecId::Sdata => bases.sdata,
                         _ => {
-                            return Err(LinkError::Range {
+                            return Err(LinkError::Unsupported {
                                 what: format!("refquad in zero-fill section {sec}"),
                             })
                         }
                     };
-                    let off = (base - DATA_BASE + r.offset) as usize;
-                    data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                    patch64(&mut data, (base - DATA_BASE + r.offset) as usize, v)?;
                 }
                 (sec, other) => {
-                    return Err(LinkError::Range {
-                        what: format!("unsupported relocation {other:?} in {sec}"),
+                    return Err(LinkError::Unsupported {
+                        what: format!("{other:?} in {sec}"),
                     })
                 }
             }
@@ -261,7 +278,7 @@ mod tests {
     #[test]
     fn patch16_writes_little_endian() {
         let mut buf = vec![0u8; 4];
-        patch16(&mut buf, 0, -2);
+        patch16(&mut buf, 0, -2).unwrap();
         assert_eq!(&buf[..2], &[0xFE, 0xFF]);
     }
 }

@@ -1,0 +1,115 @@
+//! Regression tests: malformed modules must fail the link with a typed
+//! [`LinkError`], never a panic. Each case here reconstructs an input that
+//! formerly crashed (out-of-bounds patch slices, catch-all `panic!` arms) —
+//! a long-running link server cannot afford to abort the process on one bad
+//! request.
+
+use om_linker::{link_modules, LayoutOpts, LinkError, Linker};
+use om_objfile::{LitaEntry, Module, Reloc, RelocKind, SecId, SymId, Symbol};
+
+/// A well-formed standalone program: `__start` loads `g`'s address through
+/// its GAT slot and returns. Every malformed case below is a corruption of
+/// this module.
+fn base_module() -> Module {
+    let mut m = Module::new("m");
+    // Four encoded no-op-ish words; contents never execute in these tests,
+    // they only need to decode as far as the linker cares (it does not).
+    m.text = vec![0; 16];
+    m.data = vec![0; 16];
+    m.symbols.push(Symbol::proc("__start", 0, 16, 0));
+    m.symbols.push(Symbol::data("g", SecId::Data, 0, 8));
+    m.lita.push(LitaEntry { sym: SymId(1), addend: 0 });
+    m.relocs.push(Reloc::text(0, RelocKind::Literal { lita: 0 }));
+    m
+}
+
+fn link(m: Module) -> Result<(), LinkError> {
+    link_modules(&[m], &[], &LayoutOpts::default()).map(|_| ())
+}
+
+#[test]
+fn base_module_links() {
+    link(base_module()).unwrap();
+}
+
+#[test]
+fn truncated_patch_field_is_a_typed_error() {
+    // A text relocation naming the last two bytes of the section: the
+    // 2-byte displacement patch starts in bounds but the 4-byte instruction
+    // field it belongs to does not fit — formerly an out-of-bounds slice
+    // panic inside the linker's `patch16`.
+    let mut m = base_module();
+    m.relocs.push(Reloc::text(14, RelocKind::Gprel16 { sym: SymId(1), addend: 0, gp_group: 0 }));
+    assert!(matches!(link(m), Err(LinkError::Object(_))));
+}
+
+#[test]
+fn unaligned_text_relocation_is_a_typed_error() {
+    let mut m = base_module();
+    m.relocs.push(Reloc::text(2, RelocKind::Gprel16 { sym: SymId(1), addend: 0, gp_group: 0 }));
+    assert!(matches!(link(m), Err(LinkError::Object(_))));
+}
+
+#[test]
+fn refquad_overhanging_its_section_is_a_typed_error() {
+    // An 8-byte data patch whose field sticks out past the section end —
+    // formerly an out-of-bounds slice panic in the data-segment patch loop.
+    let mut m = base_module();
+    m.relocs.push(Reloc {
+        sec: SecId::Data,
+        offset: 12,
+        kind: RelocKind::RefQuad { sym: SymId(1), addend: 0 },
+    });
+    assert!(matches!(link(m), Err(LinkError::Object(_))));
+}
+
+#[test]
+fn refquad_in_zero_fill_section_is_a_typed_error() {
+    // There are no bytes to patch in .bss — formerly the relocation
+    // dispatcher's catch-all arm.
+    let mut m = base_module();
+    m.bss_size = 16;
+    m.relocs.push(Reloc {
+        sec: SecId::Bss,
+        offset: 0,
+        kind: RelocKind::RefQuad { sym: SymId(1), addend: 0 },
+    });
+    assert!(matches!(link(m), Err(LinkError::Object(_))));
+}
+
+#[test]
+fn text_only_relocation_in_data_is_a_typed_error() {
+    // A GPDISP (or any text-only kind) against the data section has no
+    // meaning; the dispatcher's `(sec, other)` catch-all used to
+    // `panic!("{other:?}")` on it.
+    let mut m = base_module();
+    m.relocs.push(Reloc {
+        sec: SecId::Data,
+        offset: 8,
+        kind: RelocKind::Gpdisp { pair_offset: 4, anchor: 0, gp_group: 0 },
+    });
+    assert!(matches!(link(m), Err(LinkError::Object(_))));
+}
+
+#[test]
+fn literal_indexing_missing_lita_slot_is_a_typed_error() {
+    let mut m = base_module();
+    m.relocs.push(Reloc::text(4, RelocKind::Literal { lita: 9 }));
+    assert!(matches!(link(m), Err(LinkError::Object(_))));
+}
+
+#[test]
+fn builder_api_reports_the_same_typed_error() {
+    let mut m = base_module();
+    m.relocs.push(Reloc::text(14, RelocKind::Gprel16 { sym: SymId(1), addend: 0, gp_group: 0 }));
+    let r = Linker::new().object(m).link();
+    assert!(matches!(r, Err(LinkError::Object(_))));
+}
+
+#[test]
+fn errors_render_without_panicking() {
+    let mut m = base_module();
+    m.relocs.push(Reloc::text(14, RelocKind::Gprel16 { sym: SymId(1), addend: 0, gp_group: 0 }));
+    let e = link(m).unwrap_err();
+    assert!(!e.to_string().is_empty());
+}

@@ -103,7 +103,9 @@ impl Module {
     /// Checks the structural invariants:
     ///
     /// * text length is a multiple of 4,
-    /// * relocations are sorted by `(sec, offset)` and in range,
+    /// * relocations are sorted by `(sec, offset)`, their whole patched
+    ///   field lies inside the section, text relocations are
+    ///   instruction-aligned, and data sections carry only `RefQuad`s,
     /// * `Literal` relocations index existing `.lita` slots,
     /// * `Lituse*` relocations point at a text offset carrying a `Literal`,
     /// * `Gpdisp` pairs land on instruction boundaries inside the text,
@@ -131,9 +133,33 @@ impl Module {
                 }
             }
             prev = Some((r.sec, r.offset));
+            // Every relocation patches (or annotates) a field of a known
+            // width; the *whole* field must lie inside the section, and text
+            // fields must sit on an instruction boundary. Checking the width
+            // here (not just `offset < len`) is what lets the linker's patch
+            // writes trust their slices: a relocation naming the last two
+            // bytes of a section would otherwise pass validation and then
+            // index out of bounds at link time.
             let limit = self.section_len(r.sec);
-            if r.offset >= limit && limit > 0 || (limit == 0 && r.offset > 0) {
-                return Err(err(format!("relocation beyond section end: {r}")));
+            match (r.sec, &r.kind) {
+                (SecId::Text, _) => {
+                    if r.offset % 4 != 0 || r.offset + 4 > limit {
+                        return Err(err(format!(
+                            "text relocation not on a whole instruction: {r}"
+                        )));
+                    }
+                }
+                (SecId::Data | SecId::Sdata, RelocKind::RefQuad { .. }) => {
+                    if r.offset + 8 > limit {
+                        return Err(err(format!("refquad field beyond section end: {r}")));
+                    }
+                }
+                (_, RelocKind::RefQuad { .. }) => {
+                    return Err(err(format!("refquad in zero-fill section: {r}")));
+                }
+                _ => {
+                    return Err(err(format!("text-only relocation in data section: {r}")));
+                }
             }
             if let RelocKind::Literal { lita } = r.kind {
                 if lita as usize >= self.lita.len() {
@@ -254,6 +280,42 @@ mod tests {
     fn procedure_outside_text_fails() {
         let mut m = tiny_module();
         m.symbols[0] = Symbol::proc("f", 0, 64, 0);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn truncated_patch_field_fails() {
+        // Last two bytes of text: `offset < len` holds, but the 4-byte
+        // instruction field does not fit — the former panic path in the
+        // linker's patch writes.
+        let mut m = tiny_module();
+        m.relocs.push(Reloc::text(14, RelocKind::LituseJsr { load_offset: 4 }));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn unaligned_text_reloc_fails() {
+        let mut m = tiny_module();
+        m.relocs[0] = Reloc::text(2, RelocKind::Literal { lita: 0 });
+        m.relocs.truncate(1);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn refquad_field_must_fit_its_section() {
+        let mut m = tiny_module();
+        m.data = vec![0; 16];
+        m.relocs.push(Reloc { sec: SecId::Data, offset: 12, kind: RelocKind::RefQuad { sym: SymId(1), addend: 0 } });
+        assert!(m.validate().is_err());
+        m.relocs.last_mut().unwrap().offset = 8;
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn text_kind_reloc_in_data_fails() {
+        let mut m = tiny_module();
+        m.data = vec![0; 16];
+        m.relocs.push(Reloc { sec: SecId::Data, offset: 0, kind: RelocKind::Literal { lita: 0 } });
         assert!(m.validate().is_err());
     }
 

@@ -1,0 +1,151 @@
+//! `omd` — the OM link server, on the command line.
+//!
+//! ```text
+//! omd serve <socket>                      # serve (foreground) with the stdlib
+//! omd link <socket> [--level L] [--verify] -o <out> <obj>...
+//! omd ping <socket>
+//! omd stats <socket>
+//! omd shutdown <socket>
+//! ```
+//!
+//! `serve` links every request against the pre-compiled workload stdlib —
+//! compiled once at startup, cached for the life of the server. `link`
+//! sends serialized object modules (as written by
+//! [`om_objfile::binary::write_module`]) and writes the linked image bytes
+//! to `-o`.
+
+use om_core::OmLevel;
+use om_objfile::binary;
+use om_omd::{serve, Client, LinkServer};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage:
+  omd serve <socket>
+  omd link <socket> [--level none|simple|full|full-sched] [--verify] -o <out> <obj>...
+  omd ping <socket>
+  omd stats <socket>
+  omd shutdown <socket>";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("omd: {msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_level(s: &str) -> Option<OmLevel> {
+    match s {
+        "none" => Some(OmLevel::None),
+        "simple" => Some(OmLevel::Simple),
+        "full" => Some(OmLevel::Full),
+        "full-sched" | "fullsched" => Some(OmLevel::FullSched),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return fail(USAGE),
+    };
+    match cmd {
+        "serve" => cmd_serve(rest),
+        "link" => cmd_link(rest),
+        "ping" | "stats" | "shutdown" => cmd_simple(cmd, rest),
+        _ => fail(USAGE),
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let [socket] = rest else { return fail(USAGE) };
+    let libs = match om_workloads::stdlib_libs() {
+        Ok(libs) => libs.to_vec(),
+        Err(e) => return fail(&format!("stdlib: {e}")),
+    };
+    let server = Arc::new(LinkServer::new(libs));
+    match serve(socket, server) {
+        Ok(handle) => {
+            eprintln!("omd: serving on {socket}");
+            handle.wait();
+            eprintln!("omd: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("bind {socket}: {e}")),
+    }
+}
+
+fn cmd_simple(cmd: &str, rest: &[String]) -> ExitCode {
+    let [socket] = rest else { return fail(USAGE) };
+    let mut client = match Client::connect(socket) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {socket}: {e}")),
+    };
+    let outcome = match cmd {
+        "ping" => client.ping().map(|()| "pong".to_string()),
+        "stats" => client.stats(),
+        _ => client.shutdown().map(|()| "shutting down".to_string()),
+    };
+    match outcome {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{cmd}: {e}")),
+    }
+}
+
+fn cmd_link(rest: &[String]) -> ExitCode {
+    let mut socket = None;
+    let mut level = OmLevel::Full;
+    let mut verify = false;
+    let mut out_path = None;
+    let mut objects = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--level" => match it.next().map(|s| parse_level(s)) {
+                Some(Some(l)) => level = l,
+                _ => return fail("bad or missing --level value"),
+            },
+            "--verify" => verify = true,
+            "-o" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => return fail("missing -o value"),
+            },
+            _ if socket.is_none() => socket = Some(arg.clone()),
+            _ => objects.push(arg.clone()),
+        }
+    }
+    let (Some(socket), Some(out_path)) = (socket, out_path) else { return fail(USAGE) };
+    if objects.is_empty() {
+        return fail("no object files given");
+    }
+
+    let mut modules = Vec::new();
+    for path in &objects {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("read {path}: {e}")),
+        };
+        match binary::read_module(&bytes) {
+            Ok(m) => modules.push(m),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {socket}: {e}")),
+    };
+    match client.link(&modules, level, verify) {
+        Ok(Ok((cached, image))) => {
+            if let Err(e) = std::fs::write(&out_path, image.to_bytes()) {
+                return fail(&format!("write {out_path}: {e}"));
+            }
+            eprintln!("omd: linked {} ({})", out_path, if cached { "cached" } else { "fresh" });
+            ExitCode::SUCCESS
+        }
+        Ok(Err(msg)) => fail(&format!("link failed: {msg}")),
+        Err(e) => fail(&format!("link: {e}")),
+    }
+}

@@ -1,0 +1,31 @@
+//! `omd`: a link-server daemon around the OM pipeline.
+//!
+//! A build system that relinks after every edit pays the full pipeline cost
+//! each time, even though only one module changed. `omd` keeps the expensive
+//! per-module translation work (and whole finished links) in a shared
+//! content-addressed cache, so a relink after a single-module edit only
+//! re-translates that module and re-runs the cheap global passes.
+//!
+//! Two front ends share one [`LinkServer`]:
+//!
+//! * **In-process**: construct a [`LinkServer`] and call
+//!   [`LinkServer::link`] from any number of threads. Requests for the same
+//!   `(module hashes, lib hashes, level, options)` key coalesce; distinct
+//!   requests share per-module translation artifacts.
+//! * **Unix socket**: [`socket::serve`] accepts length-framed requests (see
+//!   [`wire`]) and serves them concurrently, one thread per connection. The
+//!   `omd` binary wraps this in `serve` / `link` / `stats` / `ping` /
+//!   `shutdown` subcommands.
+//!
+//! Caching is keyed purely by content ([`om_core::module_hash`] over the
+//! serialized module bytes plus an options fingerprint), so a cached link is
+//! byte-identical to a one-shot `optimize_and_link_with` run — the CI-fleet
+//! benchmark in `om-bench` asserts exactly that across all workloads.
+
+pub mod server;
+pub mod socket;
+pub mod wire;
+
+pub use server::{LinkReply, LinkServer};
+pub use socket::{serve, Client, ServerHandle};
+pub use wire::{Reply, Request};

@@ -1,0 +1,122 @@
+//! The in-process link server: a shared [`OmCaches`] plus the library set
+//! every request links against, with panic isolation per request.
+
+use om_core::{
+    archive_hash, optimize_and_link_keyed, ContentHash, OmCaches, OmError, OmLevel, OmOptions,
+    OmOutput,
+};
+use om_objfile::{Archive, Module};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A successful link response.
+#[derive(Debug, Clone)]
+pub struct LinkReply {
+    /// The finished link, shared with the cache (and with every other
+    /// request that produced the same key).
+    pub output: Arc<OmOutput>,
+    /// True when the whole link was served from the link cache (including
+    /// coalescing onto another request's in-flight computation).
+    pub cached: bool,
+}
+
+/// A link server: the fixed library set, its precomputed content hashes,
+/// and the shared caches. Cheap to share behind an [`Arc`]; every method
+/// takes `&self` and is safe to call from many threads at once.
+pub struct LinkServer {
+    libs: Vec<Archive>,
+    lib_hashes: Vec<ContentHash>,
+    caches: OmCaches,
+}
+
+impl LinkServer {
+    /// A server linking against `libs`, with default cache capacities.
+    /// Hashes each archive once, up front — requests never re-hash the
+    /// library set.
+    pub fn new(libs: Vec<Archive>) -> LinkServer {
+        LinkServer::with_caches(libs, OmCaches::default())
+    }
+
+    /// A server with caller-tuned cache capacities (tests use tiny caches
+    /// to exercise eviction).
+    pub fn with_caches(libs: Vec<Archive>, caches: OmCaches) -> LinkServer {
+        let lib_hashes = libs.iter().map(archive_hash).collect();
+        LinkServer { libs, lib_hashes, caches }
+    }
+
+    /// The shared caches, for stats reporting.
+    pub fn caches(&self) -> &OmCaches {
+        &self.caches
+    }
+
+    /// The library set this server links against.
+    pub fn libs(&self) -> &[Archive] {
+        &self.libs
+    }
+
+    /// Links `objects` against the server's libraries, served from the
+    /// shared cache when possible.
+    ///
+    /// A request that fails — a malformed module, a verification failure,
+    /// even a panic somewhere in the pipeline — releases its cache
+    /// reservation instead of wedging it: concurrent requests for the same
+    /// key all see the error, and a later retry recomputes from scratch.
+    /// Panics are converted to [`OmError::Internal`] so one bad request
+    /// cannot take down the server.
+    pub fn link(
+        &self,
+        objects: &[Module],
+        level: OmLevel,
+        options: &OmOptions,
+    ) -> Result<LinkReply, OmError> {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            optimize_and_link_keyed(
+                objects,
+                &self.libs,
+                &self.lib_hashes,
+                level,
+                options,
+                &self.caches,
+            )
+        }));
+        match run {
+            Ok(Ok((output, cached))) => Ok(LinkReply { output, cached }),
+            Ok(Err(e)) => Err(e),
+            Err(panic) => Err(OmError::Internal {
+                context: "omd link request".to_string(),
+                what: panic_message(&panic),
+            }),
+        }
+    }
+
+    /// A one-line, human-readable stats summary (also the `stats` wire
+    /// reply): hit/miss/eviction/abort counters for both caches.
+    pub fn stats_line(&self) -> String {
+        let m = self.caches.modules.stats();
+        let l = self.caches.links.stats();
+        format!(
+            "modules: {} entries, {} hits, {} misses, {} evictions, {} aborts; \
+             links: {} entries, {} hits, {} misses, {} evictions, {} aborts",
+            self.caches.modules.len(),
+            m.hits,
+            m.misses,
+            m.evictions,
+            m.aborts,
+            self.caches.links.len(),
+            l.hits,
+            l.misses,
+            l.evictions,
+            l.aborts,
+        )
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

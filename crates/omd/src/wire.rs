@@ -1,0 +1,275 @@
+//! The socket protocol: length-framed binary messages.
+//!
+//! Every message is a `u32` little-endian payload length followed by that
+//! many payload bytes. The first payload byte is a tag; the rest is
+//! tag-specific. Module and image bodies reuse the existing serializers
+//! ([`om_objfile::binary::write_module`] and
+//! [`om_linker::Image::to_bytes`]) — the wire never invents a second
+//! encoding for either.
+
+use om_core::OmLevel;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame, as a denial-of-nonsense guard: a corrupt
+/// or hostile length prefix fails fast instead of allocating gigabytes.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+const REQ_PING: u8 = 0;
+const REQ_LINK: u8 = 1;
+const REQ_STATS: u8 = 2;
+const REQ_SHUTDOWN: u8 = 3;
+
+const REP_PONG: u8 = 0;
+const REP_LINKED: u8 = 1;
+const REP_STATS: u8 = 2;
+const REP_SHUTDOWN: u8 = 3;
+const REP_ERROR: u8 = 4;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Link serialized modules (each produced by
+    /// [`om_objfile::binary::write_module`]) at `level`, optionally with
+    /// structural verification.
+    Link { level: OmLevel, verify: bool, objects: Vec<Vec<u8>> },
+    /// Ask for the server's cache statistics line.
+    Stats,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `Ping` acknowledged.
+    Pong,
+    /// A finished link: whether the whole link came from cache, and the
+    /// image serialized by [`om_linker::Image::to_bytes`].
+    Linked { cached: bool, image: Vec<u8> },
+    /// The server's cache statistics line.
+    Stats(String),
+    /// `Shutdown` acknowledged; the server exits after this reply.
+    ShuttingDown,
+    /// The request failed; the message is the error's `Display` form.
+    Error(String),
+}
+
+/// Writes one length-framed payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-framed payload, rejecting oversized lengths before
+/// allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, String> {
+    let end = at.checked_add(4).filter(|&e| e <= bytes.len()).ok_or("truncated u32")?;
+    let v = u32::from_le_bytes(bytes[*at..end].try_into().unwrap());
+    *at = end;
+    Ok(v)
+}
+
+fn take_bytes(bytes: &[u8], at: &mut usize) -> Result<Vec<u8>, String> {
+    let len = take_u32(bytes, at)? as usize;
+    let end = at.checked_add(len).filter(|&e| e <= bytes.len()).ok_or("truncated body")?;
+    let v = bytes[*at..end].to_vec();
+    *at = end;
+    Ok(v)
+}
+
+/// Serializes a request payload (frame it with [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Ping => vec![REQ_PING],
+        Request::Stats => vec![REQ_STATS],
+        Request::Shutdown => vec![REQ_SHUTDOWN],
+        Request::Link { level, verify, objects } => {
+            let mut out = vec![REQ_LINK, level.index() as u8, u8::from(*verify)];
+            out.extend_from_slice(&(objects.len() as u32).to_le_bytes());
+            for obj in objects {
+                put_bytes(&mut out, obj);
+            }
+            out
+        }
+    }
+}
+
+/// Parses a request payload. Malformed input is an error string, never a
+/// panic — the serve loop turns it into a [`Reply::Error`].
+pub fn decode_request(bytes: &[u8]) -> Result<Request, String> {
+    match bytes.first() {
+        None => Err("empty request".to_string()),
+        Some(&REQ_PING) => Ok(Request::Ping),
+        Some(&REQ_STATS) => Ok(Request::Stats),
+        Some(&REQ_SHUTDOWN) => Ok(Request::Shutdown),
+        Some(&REQ_LINK) => {
+            let mut at = 1;
+            let level_index =
+                *bytes.get(at).ok_or("truncated link request: missing level")? as usize;
+            let level = *OmLevel::ALL
+                .get(level_index)
+                .ok_or_else(|| format!("unknown level index {level_index}"))?;
+            at += 1;
+            let verify = match bytes.get(at) {
+                Some(0) => false,
+                Some(1) => true,
+                Some(v) => return Err(format!("bad verify flag {v}")),
+                None => return Err("truncated link request: missing verify flag".to_string()),
+            };
+            at += 1;
+            let count = take_u32(bytes, &mut at)?;
+            let mut objects = Vec::new();
+            for _ in 0..count {
+                objects.push(take_bytes(bytes, &mut at)?);
+            }
+            Ok(Request::Link { level, verify, objects })
+        }
+        Some(tag) => Err(format!("unknown request tag {tag}")),
+    }
+}
+
+/// Serializes a reply payload (frame it with [`write_frame`]).
+pub fn encode_reply(rep: &Reply) -> Vec<u8> {
+    match rep {
+        Reply::Pong => vec![REP_PONG],
+        Reply::ShuttingDown => vec![REP_SHUTDOWN],
+        Reply::Stats(s) => {
+            let mut out = vec![REP_STATS];
+            out.extend_from_slice(s.as_bytes());
+            out
+        }
+        Reply::Error(msg) => {
+            let mut out = vec![REP_ERROR];
+            out.extend_from_slice(msg.as_bytes());
+            out
+        }
+        Reply::Linked { cached, image } => {
+            let mut out = vec![REP_LINKED, u8::from(*cached)];
+            put_bytes(&mut out, image);
+            out
+        }
+    }
+}
+
+/// Parses a reply payload.
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply, String> {
+    match bytes.first() {
+        None => Err("empty reply".to_string()),
+        Some(&REP_PONG) => Ok(Reply::Pong),
+        Some(&REP_SHUTDOWN) => Ok(Reply::ShuttingDown),
+        Some(&REP_STATS) => String::from_utf8(bytes[1..].to_vec())
+            .map(Reply::Stats)
+            .map_err(|e| format!("stats reply not utf8: {e}")),
+        Some(&REP_ERROR) => String::from_utf8(bytes[1..].to_vec())
+            .map(Reply::Error)
+            .map_err(|e| format!("error reply not utf8: {e}")),
+        Some(&REP_LINKED) => {
+            let cached = match bytes.get(1) {
+                Some(0) => false,
+                Some(1) => true,
+                Some(v) => return Err(format!("bad cached flag {v}")),
+                None => return Err("truncated linked reply".to_string()),
+            };
+            let mut at = 2;
+            let image = take_bytes(bytes, &mut at)?;
+            Ok(Reply::Linked { cached, image })
+        }
+        Some(tag) => Err(format!("unknown reply tag {tag}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Link {
+                level: OmLevel::FullSched,
+                verify: true,
+                objects: vec![vec![1, 2, 3], vec![], vec![0xFF; 9]],
+            },
+        ];
+        for req in &reqs {
+            assert_eq!(&decode_request(&encode_request(req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let reps = [
+            Reply::Pong,
+            Reply::ShuttingDown,
+            Reply::Stats("modules: 3 entries".to_string()),
+            Reply::Error("no such symbol".to_string()),
+            Reply::Linked { cached: true, image: vec![7; 32] },
+        ];
+        for rep in &reps {
+            assert_eq!(&decode_reply(&encode_reply(rep)).unwrap(), rep);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors_not_panics() {
+        let cases: &[&[u8]] = &[
+            &[],
+            &[9],
+            &[REQ_LINK],
+            &[REQ_LINK, 99, 0],
+            &[REQ_LINK, 0, 7],
+            &[REQ_LINK, 0, 1, 5, 0, 0, 0, 1, 0, 0, 0], // count=5, one short body
+            &[REQ_LINK, 0, 1, 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F], // huge body len
+        ];
+        for c in cases {
+            assert!(decode_request(c).is_err(), "{c:?} should fail to decode");
+        }
+        assert!(decode_reply(&[]).is_err());
+        assert!(decode_reply(&[REP_LINKED, 2]).is_err());
+        assert!(decode_reply(&[0xEE]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, b"hello");
+
+        let mut bogus = ((MAX_FRAME + 1).to_le_bytes()).to_vec();
+        bogus.extend_from_slice(&[0; 16]);
+        assert!(read_frame(&mut bogus.as_slice()).is_err());
+    }
+}

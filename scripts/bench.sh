@@ -27,17 +27,18 @@ if [ "${1:-}" = "--update" ]; then
 fi
 
 # Deterministic rows only: every figure row carries a "bench" key; fig7 rows
-# are build-time measurements and simsec rows are simulator wall time. The
-# trailing array comma depends on which row happens to be last, so it is
-# stripped before diffing.
+# are build-time measurements, simsec rows are simulator wall time, and
+# fleet rows carry request latency/throughput. The trailing array comma
+# depends on which row happens to be last, so it is stripped before diffing.
 filter() {
-    grep '"bench"' "$1" | grep -v '"fig":"fig7"' | grep -v '"fig":"simsec"' | sed 's/,$//'
+    grep '"bench"' "$1" | grep -v '"fig":"fig7"' | grep -v '"fig":"simsec"' \
+        | grep -v '"fig":"fleet"' | sed 's/,$//'
 }
 
 # Coverage: every variant the harness is supposed to measure must actually
 # appear in the run — a silently skipped figure would otherwise shrink the
 # diff instead of failing it.
-for fig in fig3 fig4 fig5 fig6 gat pgo simsec; do
+for fig in fig3 fig4 fig5 fig6 gat pgo fleet simsec; do
     if ! grep -q "\"fig\":\"$fig\"" "$json"; then
         echo "FAIL: run produced no $fig rows" >&2
         exit 1
@@ -49,6 +50,14 @@ if ! grep '"fig":"pgo"' "$json" | grep -q '"pgo_cycles_each"'; then
 fi
 if ! grep '"fig":"simsec"' "$json" | grep -q '"engine"'; then
     echo "FAIL: simsec rows are missing the engine field" >&2
+    exit 1
+fi
+if ! grep '"fig":"fleet"' "$json" | grep -q '"byte_identical":true'; then
+    echo "FAIL: fleet rows missing or not byte-identical" >&2
+    exit 1
+fi
+if grep '"fig":"fleet"' "$json" | grep -q '"byte_identical":false'; then
+    echo "FAIL: a fleet relink served a non-identical image" >&2
     exit 1
 fi
 

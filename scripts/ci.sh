@@ -33,6 +33,11 @@ cargo test -q --release -p om-sim --test block_equiv
 echo "== figure drift =="
 scripts/bench.sh --refresh
 
+echo "== CI-fleet smoke (bounded relink storm + socket round trip) =="
+# ~100 measured relinks: enforces the 80% per-module hit-rate floor and
+# byte-identity of every cached image against the one-shot pipeline.
+cargo run --release -p om-bench --bin omfleet -- --smoke
+
 echo "== differential fuzz ($seeds seeds) =="
 cargo run --release -p om-bench --bin omfuzz -- --seeds "$seeds"
 
