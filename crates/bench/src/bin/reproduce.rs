@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [pgo] [fleet] [all]
-//!           [--quick] [--bench NAME]... [--jobs N] [--json PATH]
+//! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [pgo] [fleet] [passes]
+//!           [all] [--quick] [--bench NAME]... [--jobs N] [--json PATH]
 //! ```
 //!
 //! Benchmarks are built and measured on a worker pool (`--jobs`, default =
@@ -19,12 +19,13 @@ use om_bench::{json, render};
 use om_workloads::spec;
 use std::time::Instant;
 
-const FIGURES: [&str; 8] = ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo", "fleet"];
+const FIGURES: [&str; 9] =
+    ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo", "fleet", "passes"];
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|fleet|all] [--quick] \
+        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|fleet|passes|all] [--quick] \
          [--bench NAME]... [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
@@ -103,6 +104,7 @@ fn main() {
         gat: which.contains(&"gat"),
         pgo: which.contains(&"pgo"),
         fleet: which.contains(&"fleet"),
+        passes: which.contains(&"passes"),
     };
 
     eprintln!(
@@ -155,6 +157,7 @@ fn main() {
             "gat" => println!("{}", render::gat(&rows_of!(gat))),
             "pgo" => println!("{}", render::pgo(&rows_of!(pgo))),
             "fleet" => println!("{}", render::fleet(&rows_of!(fleet))),
+            "passes" => println!("{}", render::passes(&rows_of!(passes))),
             _ => unreachable!(),
         }
     }

@@ -472,6 +472,63 @@ pub fn pgo(p: &Prepared) -> PgoRow {
     PgoRow { sched_cycles, pgo_cycles, improvement, procs_moved, targets }
 }
 
+/// The transformation passes [`passes`] meters, in pipeline order. Only
+/// passes that run under a [`om_core::obs::PassMeter`] appear; translation
+/// and resolution mutate no [`OmStats`] field in
+/// [`om_core::obs::DELTA_FIELDS`].
+pub const PASS_NAMES: [&str; 5] = ["calls", "convert", "nullify", "resched", "pgo"];
+
+/// Per-pass deterministic counter deltas for one benchmark: a net signed
+/// delta for every `(pass, stats field)` pair, from one traced
+/// OM-full-scheduled run of the compile-each build. Wall time is
+/// deliberately absent — every field here is input-determined, so the row
+/// is gated against the BENCH baseline (unlike `fig7`/`simsec`/`fleet`).
+#[derive(Debug, Clone, Copy)]
+pub struct PassesRow {
+    /// `deltas[pass][field]`, pass order [`PASS_NAMES`], field order
+    /// [`om_core::obs::DELTA_FIELDS`]. Signed: `delete_nops` reclassifies
+    /// nullified instructions as deletions, so `nullify` carries a negative
+    /// `insts_nullified` delta.
+    pub deltas: [[i64; om_core::obs::DELTA_FIELDS.len()]; PASS_NAMES.len()],
+    /// Rounds of the OM-full fixpoint loop.
+    pub full_rounds: u64,
+    /// True iff the per-pass deltas reconcile exactly with the run's final
+    /// [`OmStats`] ([`om_core::obs::reconcile`]).
+    pub reconciled: bool,
+}
+
+/// Measures the per-pass counter table for one prepared benchmark: one
+/// dedicated, uncached OM-full-scheduled run of the compile-each objects
+/// under a thread-local [`om_obs::Trace`] (a cached result would replay no
+/// passes and meter nothing).
+///
+/// # Panics
+///
+/// Panics on link failure.
+pub fn passes(p: &Prepared) -> PassesRow {
+    let b = &p.each;
+    let trace = om_obs::Trace::new();
+    let out = {
+        let _g = trace.install();
+        optimize_and_link(&b.objects, &b.libs, OmLevel::FullSched)
+            .unwrap_or_else(|e| panic!("{} passes: {e}", p.spec.name))
+    };
+    let counters = trace.counters();
+    let mut deltas = [[0i64; om_core::obs::DELTA_FIELDS.len()]; PASS_NAMES.len()];
+    for (pi, pass) in PASS_NAMES.iter().enumerate() {
+        for (fi, (field, _)) in om_core::obs::DELTA_FIELDS.iter().enumerate() {
+            let pos = counters.get(&format!("pass.{pass}.{field}")).copied().unwrap_or(0);
+            let neg = counters.get(&format!("pass.{pass}.{field}.neg")).copied().unwrap_or(0);
+            deltas[pi][fi] = pos as i64 - neg as i64;
+        }
+    }
+    PassesRow {
+        deltas,
+        full_rounds: counters.get("pipeline.full_rounds").copied().unwrap_or(0),
+        reconciled: om_core::obs::reconcile(&counters, &out.stats).is_ok(),
+    }
+}
+
 /// §5.1 GAT reduction: merged GAT slots before and after OM-full, per
 /// compile mode.
 #[derive(Debug, Clone, Copy)]
@@ -507,6 +564,9 @@ pub struct Selection {
     /// The CI-fleet relink storm ([`crate::fleet`]). Like `fig7`, measured
     /// sequentially by the harness (the storm is internally parallel).
     pub fleet: bool,
+    /// The per-pass counter table ([`passes`]): deterministic, measured in
+    /// the parallel pass like fig3–fig5.
+    pub passes: bool,
 }
 
 impl Selection {
@@ -521,6 +581,7 @@ impl Selection {
             gat: true,
             pgo: true,
             fleet: true,
+            passes: true,
         }
     }
 }
@@ -540,6 +601,7 @@ pub struct BenchRows {
     /// The CI-fleet relink storm, filled in by the harness after the
     /// parallel measurement pass (like `fig7`).
     pub fleet: Option<crate::fleet::FleetRow>,
+    pub passes: Option<PassesRow>,
     /// Simulator seconds this benchmark spent across all its runs
     /// (report-only; excluded from baseline diffs like fig7).
     pub sim_seconds: f64,
@@ -564,6 +626,7 @@ pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
             pgo(p)
         }),
         fleet: None,
+        passes: sel.passes.then(|| passes(p)),
         sim_seconds: 0.0,
     };
     // Sampled after every figure above has run, so it covers the whole

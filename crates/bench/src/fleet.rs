@@ -18,6 +18,7 @@ use crate::figures::Prepared;
 use crate::par::parallel_map;
 use om_core::{optimize_and_link_with, OmLevel, OmOptions};
 use om_objfile::Module;
+use om_obs::Histogram;
 use om_omd::LinkServer;
 use std::time::Instant;
 
@@ -71,9 +72,11 @@ pub struct FleetRow {
     /// A link-cache hit touches no module at all, so it counts as all
     /// `modules` lookups avoided.
     pub hit_rate: f64,
-    /// Median request latency, microseconds.
+    /// Median request latency in microseconds, from the same
+    /// [`om_obs::Histogram`] a serving `omd` reports in its stats reply —
+    /// one quantile implementation for fleet and daemon alike.
     pub p50_us: u64,
-    /// 99th-percentile request latency, microseconds.
+    /// 99th-percentile request latency, microseconds (same histogram).
     pub p99_us: u64,
     /// Requests per wall-clock second across the storm.
     pub rps: f64,
@@ -121,7 +124,7 @@ pub fn fleet(p: &Prepared, cfg: &FleetConfig) -> FleetRow {
     let schedule: Vec<usize> =
         (0..cfg.repeats).flat_map(|_| 0..cfg.edits).collect();
     let t0 = Instant::now();
-    let mut times: Vec<u64> = parallel_map(cfg.jobs, &schedule, |&e| {
+    let times: Vec<u64> = parallel_map(cfg.jobs, &schedule, |&e| {
         let t = Instant::now();
         server
             .link(&editions[e], level, &options)
@@ -153,8 +156,12 @@ pub fn fleet(p: &Prepared, cfg: &FleetConfig) -> FleetRow {
         served == fresh
     });
 
-    times.sort_unstable();
-    let pct = |q: f64| times[((times.len() - 1) as f64 * q).round() as usize];
+    // Quantiles via the shared log2 histogram (the implementation `omd`
+    // serves in its stats reply), not a private sorted-vector percentile.
+    let mut latency = Histogram::new();
+    for &t in &times {
+        latency.record(t);
+    }
     FleetRow {
         requests,
         threads: cfg.jobs,
@@ -164,8 +171,8 @@ pub fn fleet(p: &Prepared, cfg: &FleetConfig) -> FleetRow {
         link_hits: link1.hits - link0.hits,
         link_misses: link1.misses - link0.misses,
         hit_rate,
-        p50_us: pct(0.5),
-        p99_us: pct(0.99),
+        p50_us: latency.p50(),
+        p99_us: latency.p99(),
         rps: requests as f64 / wall,
         byte_identical,
     }

@@ -134,6 +134,23 @@ fn rows_for(out: &mut String, r: &BenchRows) -> usize {
         }
         push_row(out, "pgo", &r.name, &fields);
     }
+    if let Some(x) = r.passes {
+        sep(out);
+        // Deterministic (no wall time): diffed against the baseline like
+        // fig3–fig5. Only nonzero deltas are emitted, so the key set itself
+        // is part of the gated content.
+        let mut fields = vec![("full_rounds".to_string(), x.full_rounds.to_string())];
+        for (pi, pass) in crate::figures::PASS_NAMES.iter().enumerate() {
+            for (fi, (field, _)) in om_core::obs::DELTA_FIELDS.iter().enumerate() {
+                let d = x.deltas[pi][fi];
+                if d != 0 {
+                    fields.push((format!("{pass}_{field}"), d.to_string()));
+                }
+            }
+        }
+        fields.push(("reconciled".to_string(), x.reconciled.to_string()));
+        push_row(out, "passes", &r.name, &fields);
+    }
     if let Some(x) = r.fleet {
         sep(out);
         // Latency and throughput are wall-clock; bench.sh excludes the
@@ -218,7 +235,7 @@ pub fn report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::{Fig5Row, GatRow, PgoRow};
+    use crate::figures::{Fig5Row, GatRow, PassesRow, PgoRow, PASS_NAMES};
 
     #[test]
     fn rows_are_single_grepable_lines() {
@@ -256,19 +273,36 @@ mod tests {
                 rps: 250.0,
                 byte_identical: true,
             }),
+            passes: Some({
+                let mut p = PassesRow {
+                    deltas: [[0; om_core::obs::DELTA_FIELDS.len()]; PASS_NAMES.len()],
+                    full_rounds: 2,
+                    reconciled: true,
+                };
+                // nullify reclassifies: insts_nullified −4, insts_deleted +4.
+                let nullify = PASS_NAMES.iter().position(|x| *x == "nullify").unwrap();
+                p.deltas[nullify][0] = -4;
+                p.deltas[nullify][1] = 4;
+                p
+            }),
             sim_seconds: 0.375,
         }];
         let s = report(&rows, true, 4, 1.5, (0.5, 0.25, 0.75));
         let bench_lines: Vec<&str> = s.lines().filter(|l| l.contains("\"bench\"")).collect();
-        assert_eq!(bench_lines.len(), 5, "{s}");
+        assert_eq!(bench_lines.len(), 6, "{s}");
         assert!(bench_lines[0].contains("\"fig\":\"fig5\""), "{s}");
         assert!(bench_lines[1].contains("\"each_before\":40"), "{s}");
         assert!(bench_lines[2].contains("\"fig\":\"pgo\""), "{s}");
         assert!(bench_lines[2].contains("\"pgo_cycles_each\":950"), "{s}");
-        assert!(bench_lines[3].contains("\"fig\":\"fleet\""), "{s}");
-        assert!(bench_lines[3].contains("\"byte_identical\":true"), "{s}");
-        assert!(bench_lines[4].contains("\"fig\":\"simsec\""), "{s}");
-        assert!(bench_lines[4].contains("\"engine\":\"block\""), "{s}");
+        assert!(bench_lines[3].contains("\"fig\":\"passes\""), "{s}");
+        assert!(bench_lines[3].contains("\"nullify_insts_nullified\":-4"), "{s}");
+        assert!(bench_lines[3].contains("\"nullify_insts_deleted\":4"), "{s}");
+        assert!(bench_lines[3].contains("\"full_rounds\":2"), "{s}");
+        assert!(bench_lines[3].contains("\"reconciled\":true"), "{s}");
+        assert!(bench_lines[4].contains("\"fig\":\"fleet\""), "{s}");
+        assert!(bench_lines[4].contains("\"byte_identical\":true"), "{s}");
+        assert!(bench_lines[5].contains("\"fig\":\"simsec\""), "{s}");
+        assert!(bench_lines[5].contains("\"engine\":\"block\""), "{s}");
         assert!(s.contains("\"engine\": \"block\""), "{s}");
         assert!(s.contains("\"phase_seconds\""), "{s}");
         // Valid-enough JSON: balanced braces/brackets on the skeleton.

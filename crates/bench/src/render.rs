@@ -341,6 +341,46 @@ pub fn pgo(rows: &[(String, PgoRow)]) -> String {
     out
 }
 
+/// Renders the per-pass counter table (net deltas from one traced
+/// OM-full-scheduled run per benchmark).
+pub fn passes(rows: &[(String, crate::figures::PassesRow)]) -> String {
+    use crate::figures::PASS_NAMES;
+    use om_core::obs::DELTA_FIELDS;
+    let col = |pass: &str, field: &str| {
+        let pi = PASS_NAMES.iter().position(|p| *p == pass).unwrap();
+        let fi = DELTA_FIELDS.iter().position(|(f, _)| *f == field).unwrap();
+        (pi, fi)
+    };
+    let cols = [
+        ("jsr>bsr", col("calls", "calls_jsr_to_bsr")),
+        ("conv", col("convert", "addr_loads_converted")),
+        ("null", col("convert", "addr_loads_nullified")),
+        ("del", col("nullify", "insts_deleted")),
+        ("unop", col("resched", "unops_inserted")),
+    ];
+    let mut out = String::new();
+    out.push_str("Per-pass counter deltas (OM-full w/sched, compile-each; net, deterministic)\n\n");
+    out.push_str(&format!("{:10} |", "benchmark"));
+    for (h, _) in &cols {
+        out.push_str(&format!(" {h:>7}"));
+    }
+    out.push_str(&format!(" | {:>6} {:>5}\n", "rounds", "recon"));
+    out.push_str(&"-".repeat(12 + cols.len() * 8 + 16));
+    out.push('\n');
+    for (name, r) in rows {
+        out.push_str(&format!("{name:10} |"));
+        for &(_, (pi, fi)) in &cols {
+            out.push_str(&format!(" {:>7}", r.deltas[pi][fi]));
+        }
+        out.push_str(&format!(
+            " | {:>6} {:>5}\n",
+            r.full_rounds,
+            if r.reconciled { "ok" } else { "FAIL" }
+        ));
+    }
+    out
+}
+
 /// Renders the CI-fleet relink table.
 pub fn fleet(rows: &[(String, crate::fleet::FleetRow)]) -> String {
     let mut out = String::new();

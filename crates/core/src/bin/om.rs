@@ -3,6 +3,7 @@
 //! ```text
 //! om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats]
 //!    [--verify] [--profile-use PROF.json] [--preemptible SYMBOL]...
+//!    [--trace-json TRACE.json] [--trace-summary]
 //!    FILE.o... [LIB.a...]
 //! ```
 //!
@@ -16,6 +17,13 @@
 //! and enables profile-guided layout: procedures reorder hot-first by call
 //! count and only hot backward-branch targets earn alignment UNOPs. It
 //! implies `--level full-sched` (the only level that lays code out).
+//!
+//! `--trace-json` records the link as a chrome://tracing trace-event file:
+//! one complete event per pipeline phase and transformation pass, with
+//! per-pass counter deltas attached, plus the deterministic counter map
+//! (`omtrace check` validates the result in CI). `--trace-summary` prints
+//! the same data as a table on stdout. Tracing observes the link without
+//! participating in it: the linked image is byte-identical either way.
 //!
 //! Replaces the standard link step: translates the whole program to symbolic
 //! form, applies the requested level of address-calculation optimization,
@@ -33,6 +41,8 @@ fn main() {
     let mut out = PathBuf::from("a.exe");
     let mut level = OmLevel::Full;
     let mut stats = false;
+    let mut trace_json: Option<PathBuf> = None;
+    let mut trace_summary = false;
     let mut options = OmOptions::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +71,14 @@ fn main() {
             }
             "--stats" => stats = true,
             "--verify" => options.verify = true,
+            "--trace-json" => {
+                i += 1;
+                trace_json = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("om: --trace-json needs a path");
+                    exit(2);
+                })));
+            }
+            "--trace-summary" => trace_summary = true,
             "--profile-use" => {
                 i += 1;
                 let f = args.get(i).cloned().unwrap_or_else(|| {
@@ -108,7 +126,7 @@ fn main() {
         i += 1;
     }
     if objects.is_empty() {
-        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] [--verify] [--profile-use PROF.json] FILE.o... [LIB.a...]");
+        eprintln!("usage: om [-o OUT.exe] [--level none|simple|full|full-sched] [--stats] [--verify] [--profile-use PROF.json] [--trace-json TRACE.json] [--trace-summary] FILE.o... [LIB.a...]");
         exit(2);
     }
     // PGO layout only exists at the scheduling level, regardless of flag order.
@@ -116,7 +134,25 @@ fn main() {
         level = OmLevel::FullSched;
     }
 
-    match optimize_and_link_with(&objects, &libs, level, &options) {
+    let trace = (trace_json.is_some() || trace_summary).then(om_obs::Trace::new);
+    let guard = trace.as_ref().map(om_obs::Trace::install);
+    let result = optimize_and_link_with(&objects, &libs, level, &options);
+    drop(guard);
+    if let Some(t) = &trace {
+        if let Some(path) = &trace_json {
+            let json = t.chrome_json("om");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("om: cannot write {}: {e}", path.display());
+                exit(1);
+            }
+            eprintln!("om: wrote trace {}", path.display());
+        }
+        if trace_summary {
+            print!("{}", t.summary());
+        }
+    }
+
+    match result {
         Ok(output) => {
             std::fs::write(&out, output.image.to_bytes()).unwrap();
             eprintln!(

@@ -64,6 +64,11 @@ pub struct Lru<K, V> {
     inner: Mutex<Inner<K, V>>,
     cond: Condvar,
     cap: usize,
+    /// Observability name: [`Lru::named`] caches report each hit / miss /
+    /// coalesced wait / eviction / abort as a `cache.<name>.<event>`
+    /// counter on the caller's installed [`om_obs::Trace`]. Coalescing
+    /// makes these counts deterministic at any thread width.
+    name: Option<&'static str>,
 }
 
 impl<K: Eq + Hash + Clone, V> Lru<K, V> {
@@ -77,6 +82,23 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             }),
             cond: Condvar::new(),
             cap: cap.max(1),
+            name: None,
+        }
+    }
+
+    /// [`Lru::new`], reporting cache events as `cache.<name>.*` counters on
+    /// the installed trace.
+    pub fn named(cap: usize, name: &'static str) -> Lru<K, V> {
+        Lru { name: Some(name), ..Lru::new(cap) }
+    }
+
+    /// Records one cache event on the installed trace (inert when the cache
+    /// is unnamed or no trace is installed on this thread).
+    fn note(&self, event: &str) {
+        if let Some(name) = self.name {
+            if om_obs::enabled() {
+                om_obs::count(&format!("cache.{name}.{event}"), 1);
+            }
         }
     }
 
@@ -110,6 +132,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         key: K,
         f: impl FnOnce() -> Result<V, E>,
     ) -> Result<(Arc<V>, bool), E> {
+        let mut waited = false;
         let mut inner = self.inner.lock().unwrap();
         loop {
             // Monotonic touch stamp, taken before borrowing the slot (the
@@ -121,9 +144,15 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
                     let v = Arc::clone(v);
                     *stamp = tick;
                     inner.stats.hits += 1;
+                    drop(inner);
+                    self.note("hit");
+                    if waited {
+                        self.note("coalesced");
+                    }
                     return Ok((v, true));
                 }
                 Some(Slot::InFlight) => {
+                    waited = true;
                     inner = self.cond.wait(inner).unwrap();
                     // Loop: the slot is now ready (hit), gone (the computer
                     // failed — retry the compute ourselves), or in flight
@@ -135,6 +164,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         inner.map.insert(key.clone(), Slot::InFlight);
         inner.stats.misses += 1;
         drop(inner);
+        self.note("miss");
 
         // Compute without the lock. The guard un-reserves the slot if `f`
         // errors or panics — waiters wake and retry instead of hanging.
@@ -152,6 +182,8 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
                 if matches!(inner.map.get(self.key), Some(Slot::InFlight)) {
                     inner.map.remove(self.key);
                     inner.stats.aborts += 1;
+                    drop(inner);
+                    self.cache.note("abort");
                 }
                 self.cache.cond.notify_all();
             }
@@ -169,6 +201,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         // Respect the bound: evict least-recently-used ready entries.
         // In-flight reservations are never evicted (their computer will
         // insert shortly); the bound applies to ready entries only.
+        let mut evicted = 0u64;
         while inner.map.values().filter(|s| matches!(s, Slot::Ready(..))).count() > self.cap {
             let oldest = inner
                 .map
@@ -183,11 +216,15 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
                 Some(k) => {
                     inner.map.remove(&k);
                     inner.stats.evictions += 1;
+                    evicted += 1;
                 }
                 None => break,
             }
         }
         drop(inner);
+        for _ in 0..evicted {
+            self.note("evict");
+        }
         self.cond.notify_all();
         Ok((v, false))
     }
@@ -207,7 +244,10 @@ impl OmCaches {
     /// Caches bounded at `module_cap` translation artifacts and `link_cap`
     /// finished links.
     pub fn new(module_cap: usize, link_cap: usize) -> OmCaches {
-        OmCaches { modules: Lru::new(module_cap), links: Lru::new(link_cap) }
+        OmCaches {
+            modules: Lru::named(module_cap, "modules"),
+            links: Lru::named(link_cap, "links"),
+        }
     }
 }
 

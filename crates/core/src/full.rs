@@ -59,6 +59,7 @@ pub fn run_with(
     for _round in 0..options.max_rounds {
         let snap = Snapshot::capture_with(program, options.sort_commons)?;
         let mut changed = false;
+        let m = crate::obs::PassMeter::begin("calls", stats);
         changed |= remove_prologues_and_convert_calls(
             program,
             &snap,
@@ -67,12 +68,18 @@ pub fn run_with(
             &preempt,
             options.fault.as_ref(),
         );
+        m.end(stats);
         let before = (stats.addr_loads_converted, stats.addr_loads_nullified);
+        let m = crate::obs::PassMeter::begin("convert", stats);
         transform_address_loads(program, &snap, stats, &preempt, options.fault.as_ref());
+        m.end(stats);
         changed |= (stats.addr_loads_converted, stats.addr_loads_nullified) != before;
         // Deletion: in OM-full every nullified instruction is actually
         // removed from the code.
+        let m = crate::obs::PassMeter::begin("nullify", stats);
         changed |= delete_nops(program, stats);
+        m.end(stats);
+        om_obs::count("pipeline.full_rounds", 1);
         if !changed {
             break;
         }

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod fault;
 pub mod full;
 pub mod hash;
+pub mod obs;
 pub mod pgo;
 pub mod pipeline;
 pub mod profile;

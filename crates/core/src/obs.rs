@@ -1,0 +1,164 @@
+//! Pass-level observability: spans and deterministic counter deltas.
+//!
+//! Each transformation pass runs between two snapshots of the (Copy)
+//! [`OmStats`] record; the difference is emitted as `pass.<name>.<field>`
+//! counters on the installed [`om_obs::Trace`] and as span arguments. A
+//! delta can be *negative* — `delete_nops` reclassifies nullified
+//! instructions as deletions — so negative magnitudes go to a separate
+//! `pass.<name>.<field>.neg` counter and reconciliation sums signed:
+//! `Σ pos − Σ neg == OmStats total`. [`reconcile`] performs exactly that
+//! check; the trace tests and the bench `passes` figure both use it.
+//!
+//! Everything here is inert (no allocation, no lock) when no trace is
+//! installed on the current thread.
+
+use crate::stats::OmStats;
+use std::collections::BTreeMap;
+
+type Get = fn(&OmStats) -> usize;
+
+/// The [`OmStats`] fields transformation passes mutate, with accessors.
+/// Fields set before the passes run (`*_before`, `*_total`) or derived
+/// afterwards (`*_after`) are deliberately absent: per-pass deltas over this
+/// table sum exactly to the final stats because these fields start at zero
+/// and change only inside metered passes.
+pub const DELTA_FIELDS: &[(&str, Get)] = &[
+    ("insts_nullified", |s| s.insts_nullified),
+    ("insts_deleted", |s| s.insts_deleted),
+    ("unops_inserted", |s| s.unops_inserted),
+    ("addr_loads_converted", |s| s.addr_loads_converted),
+    ("addr_loads_nullified", |s| s.addr_loads_nullified),
+    ("calls_jsr_to_bsr", |s| s.calls_jsr_to_bsr),
+    ("pgo_procs_moved", |s| s.pgo_procs_moved),
+    ("pgo_targets_hot", |s| s.pgo_targets_hot),
+    ("pgo_targets_cold", |s| s.pgo_targets_cold),
+];
+
+/// Meters one pass: a `pass.<name>` span plus signed counter deltas over
+/// [`DELTA_FIELDS`]. Create with [`PassMeter::begin`] before the pass and
+/// call [`PassMeter::end`] with the stats after it.
+pub struct PassMeter {
+    span: om_obs::Span,
+    name: &'static str,
+    before: OmStats,
+}
+
+impl PassMeter {
+    /// Opens the pass span and snapshots the stats. Inert when no trace is
+    /// installed.
+    pub fn begin(name: &'static str, stats: &OmStats) -> PassMeter {
+        let span = if om_obs::enabled() {
+            om_obs::span(&format!("pass.{name}"))
+        } else {
+            om_obs::span("")
+        };
+        PassMeter { span, name, before: *stats }
+    }
+
+    /// Closes the span, recording each nonzero field delta as a span
+    /// argument and a `pass.<name>.<field>[.neg]` counter.
+    pub fn end(mut self, after: &OmStats) {
+        if !om_obs::enabled() {
+            return;
+        }
+        for (field, get) in DELTA_FIELDS {
+            let delta = get(after) as i64 - get(&self.before) as i64;
+            if delta > 0 {
+                om_obs::count(&format!("pass.{}.{field}", self.name), delta as u64);
+                self.span.arg(field, delta as u64);
+            } else if delta < 0 {
+                let mag = delta.unsigned_abs();
+                om_obs::count(&format!("pass.{}.{field}.neg", self.name), mag);
+                self.span.arg(&format!("{field}.neg"), mag);
+            }
+        }
+    }
+}
+
+/// Checks that the per-pass counter deltas in `counters` sum (signed) to
+/// the totals in `stats`, field by field. Returns the per-field signed sums
+/// on success.
+///
+/// # Errors
+///
+/// Describes the first field whose pass deltas do not reconcile.
+pub fn reconcile(
+    counters: &BTreeMap<String, u64>,
+    stats: &OmStats,
+) -> Result<BTreeMap<&'static str, i64>, String> {
+    let mut sums = BTreeMap::new();
+    for (field, get) in DELTA_FIELDS {
+        let mut sum = 0i64;
+        for (k, &v) in counters {
+            if !k.starts_with("pass.") {
+                continue;
+            }
+            if k.ends_with(&format!(".{field}")) {
+                sum += v as i64;
+            } else if k.ends_with(&format!(".{field}.neg")) {
+                sum -= v as i64;
+            }
+        }
+        let total = get(stats) as i64;
+        if sum != total {
+            return Err(format!(
+                "field `{field}`: pass deltas sum to {sum}, OmStats total is {total}"
+            ));
+        }
+        sums.insert(*field, sum);
+    }
+    Ok(sums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_obs::Trace;
+
+    #[test]
+    fn meter_emits_signed_deltas_that_reconcile() {
+        let t = Trace::new();
+        let mut stats = OmStats::default();
+        {
+            let _g = t.install();
+            let m = PassMeter::begin("convert", &stats);
+            stats.insts_nullified += 5;
+            stats.addr_loads_converted += 2;
+            m.end(&stats);
+            let m = PassMeter::begin("nullify", &stats);
+            stats.insts_nullified -= 3; // reclassified ...
+            stats.insts_deleted += 3; // ... as deletions
+            m.end(&stats);
+        }
+        let counters = t.counters();
+        assert_eq!(counters.get("pass.convert.insts_nullified"), Some(&5));
+        assert_eq!(counters.get("pass.nullify.insts_nullified.neg"), Some(&3));
+        assert_eq!(counters.get("pass.nullify.insts_deleted"), Some(&3));
+        let sums = reconcile(&counters, &stats).unwrap();
+        assert_eq!(sums.get("insts_nullified"), Some(&2));
+        assert_eq!(sums.get("insts_deleted"), Some(&3));
+    }
+
+    #[test]
+    fn reconcile_flags_a_skewed_total() {
+        let t = Trace::new();
+        let mut stats = OmStats::default();
+        {
+            let _g = t.install();
+            let m = PassMeter::begin("convert", &stats);
+            stats.insts_deleted += 1;
+            m.end(&stats);
+        }
+        stats.insts_deleted += 1; // mutated outside any metered pass
+        let err = reconcile(&t.counters(), &stats).unwrap_err();
+        assert!(err.contains("insts_deleted"), "{err}");
+    }
+
+    #[test]
+    fn meter_is_inert_without_a_trace() {
+        let mut stats = OmStats::default();
+        let m = PassMeter::begin("convert", &stats);
+        stats.insts_deleted += 7;
+        m.end(&stats); // must not panic or record anywhere
+    }
+}

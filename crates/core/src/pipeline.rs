@@ -288,28 +288,43 @@ fn run_pipeline(
     caches: Option<&OmCaches>,
 ) -> Result<(OmOutput, Emitted), OmError> {
     PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed);
-    let modules = select_modules(objects, libs)?;
+    let mut pipeline_span = om_obs::span("pipeline");
+    om_obs::count("pipeline.runs", 1);
+    let modules = {
+        let _s = om_obs::span("select");
+        select_modules(objects, libs)?
+    };
+    pipeline_span.arg("modules", modules.len() as u64);
+    om_obs::count("pipeline.modules", modules.len() as u64);
     let symtab = build_symbol_table(&modules)?;
-    let mut program = match caches {
-        None => {
-            let locals = modules
-                .iter()
-                .map(translate_module)
-                .collect::<Result<Vec<LocalSymModule>, _>>()?;
-            resolve_symbolic(&locals, &symtab)
-        }
-        Some(c) => {
-            // Per-module translation through the shared cache: an edited
-            // module re-translates; everything else is reused by content.
-            let locals = modules
-                .iter()
-                .map(|m| {
-                    c.modules
-                        .get_or_try(module_hash(m), || translate_module(m))
-                        .map(|(v, _)| v)
-                })
-                .collect::<Result<Vec<Arc<LocalSymModule>>, OmError>>()?;
-            resolve_symbolic(&locals, &symtab)
+    let mut program = {
+        let locals_span = om_obs::span("pass.translate");
+        om_obs::count("pass.translate.modules", modules.len() as u64);
+        match caches {
+            None => {
+                let locals = modules
+                    .iter()
+                    .map(translate_module)
+                    .collect::<Result<Vec<LocalSymModule>, _>>()?;
+                drop(locals_span);
+                let _s = om_obs::span("pass.resolve");
+                resolve_symbolic(&locals, &symtab)
+            }
+            Some(c) => {
+                // Per-module translation through the shared cache: an edited
+                // module re-translates; everything else is reused by content.
+                let locals = modules
+                    .iter()
+                    .map(|m| {
+                        c.modules
+                            .get_or_try(module_hash(m), || translate_module(m))
+                            .map(|(v, _)| v)
+                    })
+                    .collect::<Result<Vec<Arc<LocalSymModule>>, OmError>>()?;
+                drop(locals_span);
+                let _s = om_obs::span("pass.resolve");
+                resolve_symbolic(&locals, &symtab)
+            }
         }
     };
 
@@ -326,17 +341,25 @@ fn run_pipeline(
         OmLevel::FullSched => {
             crate::full::run_with(&mut program, &mut stats, &mut book, options)?;
             match &options.profile {
-                None => crate::resched::run_with(
-                    &mut program,
-                    &mut stats,
-                    options.align_backward_targets,
-                    options.fault.as_ref(),
-                ),
+                None => {
+                    let m = crate::obs::PassMeter::begin("resched", &stats);
+                    crate::resched::run_with(
+                        &mut program,
+                        &mut stats,
+                        options.align_backward_targets,
+                        options.fault.as_ref(),
+                    );
+                    m.end(&stats);
+                }
                 Some(profile) => {
                     // Schedule without the blind alignment pass; the PGO
                     // layer reorders procedures and aligns hot targets only.
+                    let m = crate::obs::PassMeter::begin("resched", &stats);
                     crate::resched::run_with(&mut program, &mut stats, false, options.fault.as_ref());
+                    m.end(&stats);
+                    let m = crate::obs::PassMeter::begin("pgo", &stats);
                     crate::pgo::run_with(&mut program, &mut stats, profile, options);
+                    m.end(&stats);
                 }
             }
         }
@@ -351,20 +374,29 @@ fn run_pipeline(
     }
 
     // Final link with OM's layout policy.
-    let final_modules = crate::sym::emit_all(&program)?;
+    let final_modules = {
+        let _s = om_obs::span("emit");
+        crate::sym::emit_all(&program)?
+    };
     stats.gat_slots_after = {
         let st = build_symbol_table(&final_modules)?;
         om_linker::layout(&final_modules, &st, &LayoutOpts { sort_commons: options.sort_commons })?
             .gat_slots
     };
     let link_opts = LayoutOpts { sort_commons: level != OmLevel::None && options.sort_commons };
+    let link_span = om_obs::span("link");
     let (image, link) = link_modules(&final_modules, &[], &link_opts).map_err(OmError::Link)?;
 
     // The layout the final link saw, recomputed for post-hoc verification.
     let symtab = build_symbol_table(&final_modules)?;
     let layout = om_linker::layout(&final_modules, &symtab, &link_opts)?;
+    drop(link_span);
+    if om_obs::enabled() {
+        om_obs::count("pipeline.image_bytes", image.to_bytes().len() as u64);
+    }
 
     let verify = if options.verify {
+        let _s = om_obs::span("verify");
         let mut report = crate::verify::verify_sym(&program);
         report.merge(crate::verify::verify_stats(&program, &stats));
         report.merge(crate::verify::verify_linked(&final_modules, &symtab, &layout, &image));

@@ -62,8 +62,12 @@ pub fn run_with(
     program.preserve_gat = true;
     let snap = Snapshot::capture_with(program, options.sort_commons)?;
     let preempt: HashSet<&str> = options.preemptible.iter().map(String::as_str).collect();
+    let m = crate::obs::PassMeter::begin("calls", stats);
     transform_calls(program, &snap, stats, book, &preempt);
+    m.end(stats);
+    let m = crate::obs::PassMeter::begin("convert", stats);
     transform_address_loads(program, &snap, stats, &preempt, options.fault.as_ref());
+    m.end(stats);
     Ok(())
 }
 

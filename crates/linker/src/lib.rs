@@ -114,8 +114,25 @@ pub fn link_modules(
 ) -> Result<(Image, LinkStats), LinkError> {
     let modules = select_modules(objects, libs)?;
     let symtab = build_symbol_table(&modules)?;
-    let lay = layout(&modules, &symtab, opts)?;
-    let image = build_image(&modules, &symtab, &lay)?;
+    let lay = {
+        let mut s = om_obs::span("link.layout");
+        let lay = layout(&modules, &symtab, opts)?;
+        s.arg("gat_slots", lay.gat_slots as u64);
+        s.arg("gp_groups", lay.gp_values.len() as u64);
+        lay
+    };
+    let image = {
+        let _s = om_obs::span("link.image");
+        build_image(&modules, &symtab, &lay)?
+    };
+    if om_obs::enabled() {
+        om_obs::count("link.gat_slots", lay.gat_slots as u64);
+        om_obs::count("link.text_bytes", lay.info.text.size);
+        om_obs::count(
+            "link.segment_bytes",
+            image.segments.iter().map(|s| s.bytes.len()).sum::<usize>() as u64,
+        );
+    }
     let stats = LinkStats {
         modules: modules.len(),
         gat_entries_input: lay.gat_entries_input,

@@ -1,0 +1,86 @@
+//! `omtrace` — validates `--trace-json` output files.
+//!
+//! ```text
+//! omtrace check TRACE.json [--require SPAN]... [--require-counter NAME]...
+//! ```
+//!
+//! `check` parses the file, proves every span event is well-formed and that
+//! spans nest properly per thread, and (optionally) that named spans and
+//! counters are present. CI runs this against a real `om --trace-json` run
+//! so a malformed or flat trace fails the build, not a human squinting at
+//! chrome://tracing.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: omtrace check TRACE.json [--require SPAN]... [--require-counter NAME]..."
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut require_spans = Vec::new();
+    let mut require_counters = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require" => match it.next() {
+                Some(name) => require_spans.push(name.clone()),
+                None => return usage("--require needs a span name"),
+            },
+            "--require-counter" => match it.next() {
+                Some(name) => require_counters.push(name.clone()),
+                None => return usage("--require-counter needs a counter name"),
+            },
+            _ if path.is_none() => path = Some(a.clone()),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(path) = path else { return usage("missing TRACE.json path") };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("omtrace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names = match om_obs::validate_chrome_trace(&text) {
+        Ok(names) => names,
+        Err(e) => {
+            eprintln!("omtrace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for want in &require_spans {
+        if !names.iter().any(|n| n == want) {
+            eprintln!("omtrace: {path}: required span `{want}` not found");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !require_counters.is_empty() {
+        let doc = om_obs::parse_json(&text).expect("validated above");
+        let counters = doc.get("counters").expect("validated above");
+        for want in &require_counters {
+            if counters.get(want).is_none() {
+                eprintln!("omtrace: {path}: required counter `{want}` not found");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("omtrace: {path}: ok ({} spans)", names.len());
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("omtrace: {msg}");
+    ExitCode::from(2)
+}

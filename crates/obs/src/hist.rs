@@ -1,0 +1,262 @@
+//! Fixed-bucket log2 histograms — the one quantile implementation the
+//! workspace uses for request latencies.
+//!
+//! Bucket `b` holds values whose bit length is `b` (bucket 0 holds only the
+//! value 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7, …).
+//! 64 buckets cover the whole `u64` range, so recording never saturates or
+//! clamps a value into a neighbor. Merging is bucket-wise addition —
+//! order-independent, so per-thread histograms merged at any `--jobs` width
+//! produce byte-identical state.
+//!
+//! Quantiles are nearest-rank over the bucket cumulative counts: the
+//! reported value is the selected bucket's inclusive upper bound, clamped
+//! into the exactly-tracked `[min, max]` observed range. All integer math —
+//! two histograms with equal state report equal quantiles on every
+//! platform.
+
+/// Number of buckets: one per possible `u64` bit length (0..=63 after
+/// clamping; bit length 64 shares the top bucket).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A mergeable fixed-bucket log2 histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: [0; HIST_BUCKETS], total: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index a value lands in (its bit length, top-clamped).
+    pub fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of `bucket` (the quantile representative).
+    fn bucket_upper(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else if bucket >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (bucket-wise; order-independent).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`), as the selected
+    /// bucket's upper bound clamped into the observed `[min, max]`. Returns
+    /// 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // Nearest-rank, matching the sorted-vector convention previously
+        // used by the fleet harness: index round(q * (n-1)) in a sorted
+        // sample list, i.e. 1-based rank index+1.
+        let rank = (q.clamp(0.0, 1.0) * (self.total - 1) as f64).round() as u64 + 1;
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The raw bucket counts.
+    pub fn counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// `(bucket, count)` pairs for the non-empty buckets — the wire and
+    /// JSON representation (histograms are sparse in practice).
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its sparse representation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range bucket indices, duplicate buckets, overflowing
+    /// totals, and `min > max` on a non-empty histogram — the wire decoder
+    /// relies on this to turn malformed frames into typed errors.
+    pub fn from_sparse(min: u64, max: u64, pairs: &[(usize, u64)]) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for &(b, c) in pairs {
+            if b >= HIST_BUCKETS {
+                return Err(format!("histogram bucket {b} out of range"));
+            }
+            if h.counts[b] != 0 {
+                return Err(format!("duplicate histogram bucket {b}"));
+            }
+            h.counts[b] = c;
+            h.total = h.total.checked_add(c).ok_or("histogram total overflows")?;
+        }
+        if h.total > 0 {
+            if min > max {
+                return Err(format!("histogram min {min} > max {max}"));
+            }
+            h.min = min;
+            h.max = max;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_clamp_into_observed_range() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        // All samples identical: every quantile is exact.
+        assert_eq!(h.p50(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 100);
+        assert_eq!((h.min(), h.max()), (100, 100));
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000, 1001, 1002, 60000, 61000, 62000, 100_000] {
+            h.record(v);
+        }
+        // Rank(0.5) = round(0.5*9)+1 = 6 → cumulative hits the 1024-bucket
+        // (values 1000..1002 live in bucket 10, upper bound 1023).
+        assert_eq!(h.p50(), 1023);
+        // p99 → rank 10 → last bucket, clamped to max.
+        assert_eq!(h.p99(), 100_000);
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 7919).collect();
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            [&mut a, &mut b, &mut c][i % 3].record(s);
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&c);
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.p50(), whole.p50());
+    }
+
+    #[test]
+    fn sparse_round_trip_and_rejection() {
+        let mut h = Histogram::new();
+        for v in [5u64, 9, 9, 4000] {
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(h.min(), h.max(), &h.nonzero()).unwrap();
+        assert_eq!(back, h);
+
+        assert!(Histogram::from_sparse(0, 0, &[(64, 1)]).is_err());
+        assert!(Histogram::from_sparse(0, 0, &[(3, 1), (3, 1)]).is_err());
+        assert!(Histogram::from_sparse(9, 5, &[(3, 1)]).is_err());
+        assert!(Histogram::from_sparse(0, 1, &[(1, u64::MAX), (2, 1)]).is_err());
+        // Empty histograms ignore min/max entirely.
+        assert_eq!(Histogram::from_sparse(7, 3, &[]).unwrap(), Histogram::new());
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!((h.min(), h.max()), (0, 0));
+    }
+}

@@ -1,0 +1,92 @@
+//! The counter determinism contract: merging per-thread sinks at any thread
+//! width yields byte-identical counter JSON, with wall-clock data excluded.
+
+use om_obs::{count, span, timer_ns, Sink, Trace};
+
+/// A deterministic workload: each worker records counters derived only from
+/// its input slice (never from time or scheduling), plus spans and timers
+/// that intentionally carry run-varying wall-clock noise.
+fn work(items: &[u64]) {
+    for &v in items {
+        let mut s = span("work.item");
+        s.arg("value", v);
+        count("work.items", 1);
+        count("work.sum", v);
+        if v % 3 == 0 {
+            count("work.multiples_of_three", 1);
+        }
+        timer_ns("work.wall", v % 7 + 1);
+    }
+}
+
+/// Runs the workload split across `jobs` threads and returns the merged
+/// canonical counter JSON.
+fn run_at_width(items: &[u64], jobs: usize) -> String {
+    let trace = Trace::new();
+    std::thread::scope(|scope| {
+        for chunk in items.chunks(items.len().div_ceil(jobs).max(1)) {
+            let trace = trace.clone();
+            scope.spawn(move || {
+                // Each worker records into its own detached sink, merged at
+                // the end — the same shape scripts/ci.sh's --jobs pipeline
+                // uses, and the worst case for ordering effects.
+                let local = Trace::new();
+                {
+                    let _g = local.install();
+                    work(chunk);
+                }
+                trace.absorb(&local.sink());
+            });
+        }
+    });
+    trace.sink().counters_json()
+}
+
+#[test]
+fn merged_counters_are_byte_identical_at_any_jobs_width() {
+    let items: Vec<u64> = (0..257u64).map(|i| i.wrapping_mul(2654435761) >> 7).collect();
+    let reference = run_at_width(&items, 1);
+    assert!(reference.contains("\"work.items\":257"), "{reference}");
+    for jobs in [2, 3, 4, 7, 16, 257, 1000] {
+        let got = run_at_width(&items, jobs);
+        assert_eq!(got, reference, "jobs={jobs} diverged");
+    }
+}
+
+#[test]
+fn wall_clock_data_never_reaches_counter_json() {
+    let trace = Trace::new();
+    {
+        let _g = trace.install();
+        work(&[1, 2, 3]);
+    }
+    let json = trace.sink().counters_json();
+    assert!(!json.contains("work.wall"), "timer leaked into counters: {json}");
+    assert!(!json.contains("ns"), "{json}");
+    // But both live in the full sink for reports.
+    let sink = trace.sink();
+    assert!(sink.timers_ns.contains_key("work.wall"));
+    assert_eq!(sink.spans.len(), 3);
+}
+
+#[test]
+fn absorb_matches_manual_merge() {
+    let a = Trace::new();
+    {
+        let _g = a.install();
+        work(&[10, 11]);
+    }
+    let b = Trace::new();
+    {
+        let _g = b.install();
+        work(&[12]);
+    }
+    let combined = Trace::new();
+    combined.absorb(&a.sink());
+    combined.absorb(&b.sink());
+
+    let mut manual = Sink::default();
+    manual.merge(&b.sink());
+    manual.merge(&a.sink());
+    assert_eq!(combined.sink().counters_json(), manual.counters_json());
+}

@@ -1,7 +1,7 @@
 //! `omd` — the OM link server, on the command line.
 //!
 //! ```text
-//! omd serve <socket>                      # serve (foreground) with the stdlib
+//! omd serve <socket> [--trace-json OUT.json]   # serve (foreground) with the stdlib
 //! omd link <socket> [--level L] [--verify] -o <out> <obj>...
 //! omd ping <socket>
 //! omd stats <socket>
@@ -13,15 +13,22 @@
 //! sends serialized object modules (as written by
 //! [`om_objfile::binary::write_module`]) and writes the linked image bytes
 //! to `-o`.
+//!
+//! `ping` reports the server's version, uptime, and cumulative request
+//! count; `stats` adds the cache counters, wire byte totals, and a
+//! per-endpoint request-latency table (p50/p99 from the server's log2
+//! histograms). `serve --trace-json` records every request as an
+//! `omd.<endpoint>` span — link requests carry the whole pipeline's spans
+//! nested inside — and writes the chrome://tracing file at shutdown.
 
 use om_core::OmLevel;
 use om_objfile::binary;
-use om_omd::{serve, Client, LinkServer};
+use om_omd::{serve_traced, Client, LinkServer};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage:
-  omd serve <socket>
+  omd serve <socket> [--trace-json OUT.json]
   omd link <socket> [--level none|simple|full|full-sched] [--verify] -o <out> <obj>...
   omd ping <socket>
   omd stats <socket>
@@ -57,16 +64,36 @@ fn main() -> ExitCode {
 }
 
 fn cmd_serve(rest: &[String]) -> ExitCode {
-    let [socket] = rest else { return fail(USAGE) };
+    let mut socket = None;
+    let mut trace_json = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-json" => match it.next() {
+                Some(p) if !p.is_empty() && !p.starts_with('-') => trace_json = Some(p.clone()),
+                _ => return fail("--trace-json needs an output path"),
+            },
+            _ if socket.is_none() => socket = Some(arg.clone()),
+            other => return fail(&format!("unknown serve option {other}")),
+        }
+    }
+    let Some(socket) = socket else { return fail(USAGE) };
     let libs = match om_workloads::stdlib_libs() {
         Ok(libs) => libs.to_vec(),
         Err(e) => return fail(&format!("stdlib: {e}")),
     };
     let server = Arc::new(LinkServer::new(libs));
-    match serve(socket, server) {
+    let trace = trace_json.as_ref().map(|_| om_obs::Trace::new());
+    match serve_traced(&socket, server, trace.clone()) {
         Ok(handle) => {
             eprintln!("omd: serving on {socket}");
             handle.wait();
+            if let (Some(out), Some(t)) = (&trace_json, &trace) {
+                if let Err(e) = std::fs::write(out, t.chrome_json("omd")) {
+                    return fail(&format!("cannot write {out}: {e}"));
+                }
+                eprintln!("omd: wrote trace {out}");
+            }
             eprintln!("omd: shut down");
             ExitCode::SUCCESS
         }
@@ -81,8 +108,35 @@ fn cmd_simple(cmd: &str, rest: &[String]) -> ExitCode {
         Err(e) => return fail(&format!("connect {socket}: {e}")),
     };
     let outcome = match cmd {
-        "ping" => client.ping().map(|()| "pong".to_string()),
-        "stats" => client.stats(),
+        "ping" => client.ping().map(|p| {
+            if p.version.is_empty() {
+                "pong (pre-version server)".to_string()
+            } else {
+                format!(
+                    "pong: omd {} up {} ms, {} requests served",
+                    p.version, p.uptime_ms, p.requests
+                )
+            }
+        }),
+        "stats" => client.stats().map(|s| {
+            let mut out = format!(
+                "omd {} up {} ms | {} requests | wire {} B in, {} B out\n{}",
+                s.version, s.uptime_ms, s.requests, s.bytes_in, s.bytes_out, s.caches
+            );
+            for ep in &s.endpoints {
+                let h = &ep.latency_us;
+                out.push_str(&format!(
+                    "\n{:>9}: {} requests, p50 {} us, p99 {} us (min {}, max {})",
+                    ep.name,
+                    h.count(),
+                    h.p50(),
+                    h.p99(),
+                    h.min(),
+                    h.max()
+                ));
+            }
+            out
+        }),
         _ => client.shutdown().map(|()| "shutting down".to_string()),
     };
     match outcome {

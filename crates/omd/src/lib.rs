@@ -26,6 +26,6 @@ pub mod server;
 pub mod socket;
 pub mod wire;
 
-pub use server::{LinkReply, LinkServer};
-pub use socket::{serve, Client, ServerHandle};
-pub use wire::{Reply, Request};
+pub use server::{LinkReply, LinkServer, ServerMetrics};
+pub use socket::{serve, serve_traced, Client, ServerHandle};
+pub use wire::{EndpointStats, Pong, Reply, Request, ServerStats};

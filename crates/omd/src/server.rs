@@ -1,13 +1,102 @@
 //! The in-process link server: a shared [`OmCaches`] plus the library set
 //! every request links against, with panic isolation per request.
 
+use crate::wire::{EndpointStats, Pong, ServerStats};
 use om_core::{
     archive_hash, optimize_and_link_keyed, ContentHash, OmCaches, OmError, OmLevel, OmOptions,
     OmOutput,
 };
+use om_obs::Histogram;
 use om_objfile::{Archive, Module};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Request-level metrics for a serving `omd`: wire byte counters, the
+/// cumulative request count, and one latency [`Histogram`] per endpoint.
+/// All methods take `&self`; the socket front end records from many
+/// connection threads at once, and histogram merging is order-independent,
+/// so the totals are the same at any concurrency.
+pub struct ServerMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latencies: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> ServerMetrics {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh metrics; uptime counts from this call.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            latencies: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Counts one incoming request, returning the new cumulative total (so
+    /// a pong reports a count that includes the ping it answers).
+    pub fn note_request(&self) -> u64 {
+        self.requests.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds to the wire byte counters (request and reply, frames included).
+    pub fn note_bytes(&self, inbound: u64, outbound: u64) {
+        self.bytes_in.fetch_add(inbound, Ordering::Relaxed);
+        self.bytes_out.fetch_add(outbound, Ordering::Relaxed);
+    }
+
+    /// Records one finished request's latency under its endpoint.
+    pub fn note_latency(&self, endpoint: &'static str, micros: u64) {
+        self.latencies.lock().unwrap().entry(endpoint).or_default().record(micros);
+    }
+
+    /// Cumulative requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The `Pong` payload: version, uptime, request count.
+    pub fn pong(&self) -> Pong {
+        Pong {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests: self.requests(),
+        }
+    }
+
+    /// A point-in-time snapshot of every endpoint histogram plus the
+    /// counters, with `caches` passed through from the cache layer.
+    pub fn snapshot(&self, caches: String) -> ServerStats {
+        let endpoints = self
+            .latencies
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&name, h)| EndpointStats { name: name.to_string(), latency_us: h.clone() })
+            .collect();
+        ServerStats {
+            caches,
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests: self.requests(),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            endpoints,
+        }
+    }
+}
 
 /// A successful link response.
 #[derive(Debug, Clone)]
@@ -27,6 +116,7 @@ pub struct LinkServer {
     libs: Vec<Archive>,
     lib_hashes: Vec<ContentHash>,
     caches: OmCaches,
+    metrics: ServerMetrics,
 }
 
 impl LinkServer {
@@ -41,12 +131,22 @@ impl LinkServer {
     /// to exercise eviction).
     pub fn with_caches(libs: Vec<Archive>, caches: OmCaches) -> LinkServer {
         let lib_hashes = libs.iter().map(archive_hash).collect();
-        LinkServer { libs, lib_hashes, caches }
+        LinkServer { libs, lib_hashes, caches, metrics: ServerMetrics::new() }
     }
 
     /// The shared caches, for stats reporting.
     pub fn caches(&self) -> &OmCaches {
         &self.caches
+    }
+
+    /// The server's request metrics (recorded by the socket front end).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The full stats snapshot the `stats` wire reply carries.
+    pub fn server_stats(&self) -> ServerStats {
+        self.metrics.snapshot(self.stats_line())
     }
 
     /// The library set this server links against.

@@ -5,8 +5,8 @@
 
 use crate::server::LinkServer;
 use crate::wire::{
-    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame, Reply,
-    Request,
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame, Pong,
+    Reply, Request, ServerStats,
 };
 use om_core::{OmLevel, OmOptions};
 use om_linker::Image;
@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// A running socket server. Dropping the handle leaves the server running
 /// (detached); call [`ServerHandle::shutdown`] to stop it, or send a
@@ -57,6 +58,19 @@ impl ServerHandle {
 /// socket file at `path` is replaced (a stale file from a dead server would
 /// otherwise make the address unusable).
 pub fn serve(path: impl AsRef<Path>, server: Arc<LinkServer>) -> io::Result<ServerHandle> {
+    serve_traced(path, server, None)
+}
+
+/// [`serve`], with an optional [`om_obs::Trace`] installed on every
+/// connection thread: each served request becomes an `omd.<endpoint>` span
+/// (with the whole link pipeline's spans nested inside it for link
+/// requests). `omd serve --trace-json` writes the collected trace when the
+/// server shuts down.
+pub fn serve_traced(
+    path: impl AsRef<Path>,
+    server: Arc<LinkServer>,
+    trace: Option<om_obs::Trace>,
+) -> io::Result<ServerHandle> {
     let path = path.as_ref().to_path_buf();
     let _ = std::fs::remove_file(&path);
     let listener = UnixListener::bind(&path)?;
@@ -76,7 +90,11 @@ pub fn serve(path: impl AsRef<Path>, server: Arc<LinkServer>) -> io::Result<Serv
             let server = Arc::clone(&server);
             let stop = Arc::clone(&loop_stop);
             let path = loop_path.clone();
-            thread::spawn(move || serve_connection(stream, &server, &stop, &path));
+            let trace = trace.clone();
+            thread::spawn(move || {
+                let _guard = trace.as_ref().map(om_obs::Trace::install);
+                serve_connection(stream, &server, &stop, &path);
+            });
         }
     });
 
@@ -93,20 +111,52 @@ fn serve_connection(mut stream: UnixStream, server: &LinkServer, stop: &AtomicBo
             Ok(p) => p,
             Err(_) => return, // EOF or a framing error: drop the connection
         };
-        let reply = match decode_request(&payload) {
+        let t0 = Instant::now();
+        server.metrics().note_request();
+        let decoded = decode_request(&payload);
+        // An undecodable payload has no endpoint of its own; it lands in
+        // the `error` bucket so corrupt-client storms show up in stats.
+        let endpoint = match &decoded {
+            Err(_) => "error",
+            Ok(Request::Ping) => "ping",
+            Ok(Request::Stats) => "stats",
+            Ok(Request::Shutdown) => "shutdown",
+            Ok(Request::Link { .. }) => "link",
+        };
+        let mut span = om_obs::span(match endpoint {
+            "error" => "omd.error",
+            "ping" => "omd.ping",
+            "stats" => "omd.stats",
+            "shutdown" => "omd.shutdown",
+            _ => "omd.link",
+        });
+        let shutting_down = matches!(decoded, Ok(Request::Shutdown));
+        let reply = match decoded {
             Err(e) => Reply::Error(format!("bad request: {e}")),
-            Ok(Request::Ping) => Reply::Pong,
-            Ok(Request::Stats) => Reply::Stats(server.stats_line()),
+            Ok(Request::Ping) => Reply::Pong(server.metrics().pong()),
+            Ok(Request::Stats) => Reply::Stats(server.server_stats()),
             Ok(Request::Shutdown) => {
                 stop.store(true, Ordering::SeqCst);
-                let _ = write_frame(&mut stream, &encode_reply(&Reply::ShuttingDown));
-                // Wake the accept loop so it observes the stop flag.
-                let _ = UnixStream::connect(path);
-                return;
+                Reply::ShuttingDown
             }
-            Ok(Request::Link { level, verify, objects }) => handle_link(server, level, verify, &objects),
+            Ok(Request::Link { level, verify, objects }) => {
+                handle_link(server, level, verify, &objects)
+            }
         };
-        if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+        let reply_bytes = encode_reply(&reply);
+        // Frame overheads (the 4-byte length prefixes) count as wire bytes.
+        server.metrics().note_bytes(payload.len() as u64 + 4, reply_bytes.len() as u64 + 4);
+        span.arg("bytes_in", payload.len() as u64 + 4);
+        span.arg("bytes_out", reply_bytes.len() as u64 + 4);
+        drop(span);
+        server.metrics().note_latency(endpoint, t0.elapsed().as_micros() as u64);
+        let sent = write_frame(&mut stream, &reply_bytes);
+        if shutting_down {
+            // Wake the accept loop so it observes the stop flag.
+            let _ = UnixStream::connect(path);
+            return;
+        }
+        if sent.is_err() {
             return;
         }
     }
@@ -149,16 +199,18 @@ impl Client {
         io::Error::new(io::ErrorKind::InvalidData, format!("unexpected reply: {reply:?}"))
     }
 
-    /// Liveness probe.
-    pub fn ping(&mut self) -> io::Result<()> {
+    /// Liveness probe. The reply carries the server's version, uptime, and
+    /// cumulative request count (all-default from a pre-version server).
+    pub fn ping(&mut self) -> io::Result<Pong> {
         match self.round_trip(&Request::Ping)? {
-            Reply::Pong => Ok(()),
+            Reply::Pong(p) => Ok(p),
             other => Err(Self::unexpected(other)),
         }
     }
 
-    /// The server's cache statistics line.
-    pub fn stats(&mut self) -> io::Result<String> {
+    /// The server's statistics: cache line, wire byte counters, and
+    /// per-endpoint latency histograms.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
         match self.round_trip(&Request::Stats)? {
             Reply::Stats(s) => Ok(s),
             other => Err(Self::unexpected(other)),

@@ -8,6 +8,7 @@
 //! encoding for either.
 
 use om_core::OmLevel;
+use om_obs::Histogram;
 use std::io::{self, Read, Write};
 
 /// Upper bound on a single frame, as a denial-of-nonsense guard: a corrupt
@@ -40,16 +41,66 @@ pub enum Request {
     Shutdown,
 }
 
+/// A `Pong` reply's payload: who is serving, for how long, and how many
+/// requests it has handled so far (this ping included).
+///
+/// The original protocol's pong carried no payload at all. The decoder
+/// keeps accepting that empty form and fills in these legacy defaults
+/// (empty version, zero uptime and count), so a new client can ping an old
+/// server and tell the difference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pong {
+    /// The server's `CARGO_PKG_VERSION` (empty from a pre-version server).
+    pub version: String,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Cumulative requests served over the socket.
+    pub requests: u64,
+}
+
+/// One endpoint's request-latency histogram (microseconds), shipped sparse
+/// over the wire ([`Histogram::nonzero`] on encode, [`Histogram::from_sparse`]
+/// on decode — malformed bucket data is a typed decode error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Endpoint name: `ping`, `link`, `stats`, `shutdown`, or `error`.
+    pub name: String,
+    /// Request latencies in microseconds.
+    pub latency_us: Histogram,
+}
+
+/// The full `Stats` reply: the legacy cache line plus the server's request
+/// metrics and per-endpoint latency histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The human-readable cache statistics line (the whole pre-metrics
+    /// stats reply).
+    pub caches: String,
+    /// The server's `CARGO_PKG_VERSION`.
+    pub version: String,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Cumulative requests served over the socket.
+    pub requests: u64,
+    /// Total request bytes read off the wire (frames included).
+    pub bytes_in: u64,
+    /// Total reply bytes written to the wire (frames included).
+    pub bytes_out: u64,
+    /// Per-endpoint latency histograms, sorted by endpoint name.
+    pub endpoints: Vec<EndpointStats>,
+}
+
 /// A server reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
-    /// `Ping` acknowledged.
-    Pong,
+    /// `Ping` acknowledged, with the server's identity and uptime.
+    Pong(Pong),
     /// A finished link: whether the whole link came from cache, and the
     /// image serialized by [`om_linker::Image::to_bytes`].
     Linked { cached: bool, image: Vec<u8> },
-    /// The server's cache statistics line.
-    Stats(String),
+    /// The server's statistics: cache line, wire counters, and latency
+    /// histograms.
+    Stats(ServerStats),
     /// `Shutdown` acknowledged; the server exits after this reply.
     ShuttingDown,
     /// The request failed; the message is the error's `Display` form.
@@ -106,6 +157,41 @@ fn take_bytes(bytes: &[u8], at: &mut usize) -> Result<Vec<u8>, String> {
     Ok(v)
 }
 
+fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
+    let end = at.checked_add(8).filter(|&e| e <= bytes.len()).ok_or("truncated u64")?;
+    let v = u64::from_le_bytes(bytes[*at..end].try_into().unwrap());
+    *at = end;
+    Ok(v)
+}
+
+fn take_string(bytes: &[u8], at: &mut usize, what: &str) -> Result<String, String> {
+    String::from_utf8(take_bytes(bytes, at)?).map_err(|e| format!("{what} not utf8: {e}"))
+}
+
+fn put_hist(out: &mut Vec<u8>, h: &Histogram) {
+    out.extend_from_slice(&h.min().to_le_bytes());
+    out.extend_from_slice(&h.max().to_le_bytes());
+    let pairs = h.nonzero();
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (bucket, count) in pairs {
+        out.push(bucket as u8);
+        out.extend_from_slice(&count.to_le_bytes());
+    }
+}
+
+fn take_hist(bytes: &[u8], at: &mut usize) -> Result<Histogram, String> {
+    let min = take_u64(bytes, at)?;
+    let max = take_u64(bytes, at)?;
+    let n = take_u32(bytes, at)?;
+    let mut pairs = Vec::new();
+    for _ in 0..n {
+        let bucket = *bytes.get(*at).ok_or("truncated histogram bucket")? as usize;
+        *at += 1;
+        pairs.push((bucket, take_u64(bytes, at)?));
+    }
+    Histogram::from_sparse(min, max, &pairs)
+}
+
 /// Serializes a request payload (frame it with [`write_frame`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     match req {
@@ -160,11 +246,27 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, String> {
 /// Serializes a reply payload (frame it with [`write_frame`]).
 pub fn encode_reply(rep: &Reply) -> Vec<u8> {
     match rep {
-        Reply::Pong => vec![REP_PONG],
+        Reply::Pong(p) => {
+            let mut out = vec![REP_PONG];
+            put_bytes(&mut out, p.version.as_bytes());
+            out.extend_from_slice(&p.uptime_ms.to_le_bytes());
+            out.extend_from_slice(&p.requests.to_le_bytes());
+            out
+        }
         Reply::ShuttingDown => vec![REP_SHUTDOWN],
         Reply::Stats(s) => {
             let mut out = vec![REP_STATS];
-            out.extend_from_slice(s.as_bytes());
+            put_bytes(&mut out, s.caches.as_bytes());
+            put_bytes(&mut out, s.version.as_bytes());
+            out.extend_from_slice(&s.uptime_ms.to_le_bytes());
+            out.extend_from_slice(&s.requests.to_le_bytes());
+            out.extend_from_slice(&s.bytes_in.to_le_bytes());
+            out.extend_from_slice(&s.bytes_out.to_le_bytes());
+            out.extend_from_slice(&(s.endpoints.len() as u32).to_le_bytes());
+            for ep in &s.endpoints {
+                put_bytes(&mut out, ep.name.as_bytes());
+                put_hist(&mut out, &ep.latency_us);
+            }
             out
         }
         Reply::Error(msg) => {
@@ -184,11 +286,48 @@ pub fn encode_reply(rep: &Reply) -> Vec<u8> {
 pub fn decode_reply(bytes: &[u8]) -> Result<Reply, String> {
     match bytes.first() {
         None => Err("empty reply".to_string()),
-        Some(&REP_PONG) => Ok(Reply::Pong),
+        // A bare tag is the original protocol's pong; the payload-bearing
+        // form must parse exactly (no trailing bytes).
+        Some(&REP_PONG) if bytes.len() == 1 => Ok(Reply::Pong(Pong::default())),
+        Some(&REP_PONG) => {
+            let mut at = 1;
+            let version = take_string(bytes, &mut at, "pong version")?;
+            let uptime_ms = take_u64(bytes, &mut at)?;
+            let requests = take_u64(bytes, &mut at)?;
+            if at != bytes.len() {
+                return Err(format!("{} trailing bytes after pong", bytes.len() - at));
+            }
+            Ok(Reply::Pong(Pong { version, uptime_ms, requests }))
+        }
         Some(&REP_SHUTDOWN) => Ok(Reply::ShuttingDown),
-        Some(&REP_STATS) => String::from_utf8(bytes[1..].to_vec())
-            .map(Reply::Stats)
-            .map_err(|e| format!("stats reply not utf8: {e}")),
+        Some(&REP_STATS) => {
+            let mut at = 1;
+            let caches = take_string(bytes, &mut at, "stats cache line")?;
+            let version = take_string(bytes, &mut at, "stats version")?;
+            let uptime_ms = take_u64(bytes, &mut at)?;
+            let requests = take_u64(bytes, &mut at)?;
+            let bytes_in = take_u64(bytes, &mut at)?;
+            let bytes_out = take_u64(bytes, &mut at)?;
+            let n = take_u32(bytes, &mut at)?;
+            let mut endpoints = Vec::new();
+            for _ in 0..n {
+                let name = take_string(bytes, &mut at, "endpoint name")?;
+                let latency_us = take_hist(bytes, &mut at)?;
+                endpoints.push(EndpointStats { name, latency_us });
+            }
+            if at != bytes.len() {
+                return Err(format!("{} trailing bytes after stats", bytes.len() - at));
+            }
+            Ok(Reply::Stats(ServerStats {
+                caches,
+                version,
+                uptime_ms,
+                requests,
+                bytes_in,
+                bytes_out,
+                endpoints,
+            }))
+        }
         Some(&REP_ERROR) => String::from_utf8(bytes[1..].to_vec())
             .map(Reply::Error)
             .map_err(|e| format!("error reply not utf8: {e}")),
@@ -228,18 +367,118 @@ mod tests {
         }
     }
 
+    fn sample_stats() -> ServerStats {
+        let mut ping = Histogram::new();
+        for v in [12u64, 15, 9, 200] {
+            ping.record(v);
+        }
+        let mut link = Histogram::new();
+        for v in [40_000u64, 52_000, 700] {
+            link.record(v);
+        }
+        ServerStats {
+            caches: "modules: 3 entries, 2 hits".to_string(),
+            version: "0.1.0".to_string(),
+            uptime_ms: 77_000,
+            requests: 7,
+            bytes_in: 123_456,
+            bytes_out: 654_321,
+            endpoints: vec![
+                EndpointStats { name: "link".to_string(), latency_us: link },
+                EndpointStats { name: "ping".to_string(), latency_us: ping },
+            ],
+        }
+    }
+
     #[test]
     fn replies_round_trip() {
         let reps = [
-            Reply::Pong,
+            Reply::Pong(Pong {
+                version: "0.1.0".to_string(),
+                uptime_ms: 12_345,
+                requests: 99,
+            }),
             Reply::ShuttingDown,
-            Reply::Stats("modules: 3 entries".to_string()),
+            Reply::Stats(sample_stats()),
+            Reply::Stats(ServerStats::default()),
             Reply::Error("no such symbol".to_string()),
             Reply::Linked { cached: true, image: vec![7; 32] },
         ];
         for rep in &reps {
             assert_eq!(&decode_reply(&encode_reply(rep)).unwrap(), rep);
         }
+    }
+
+    #[test]
+    fn legacy_empty_pong_still_decodes() {
+        // The original protocol's pong was the bare tag with no payload; a
+        // new client must keep accepting it, with legacy defaults.
+        assert_eq!(decode_reply(&[REP_PONG]).unwrap(), Reply::Pong(Pong::default()));
+    }
+
+    #[test]
+    fn malformed_pong_payloads_are_errors() {
+        // Truncated version length.
+        assert!(decode_reply(&[REP_PONG, 5, 0]).is_err());
+        // Version body longer than the payload.
+        assert!(decode_reply(&[REP_PONG, 9, 0, 0, 0, b'x']).is_err());
+        // Version present but the u64s truncated.
+        let mut short = vec![REP_PONG];
+        put_bytes(&mut short, b"0.1.0");
+        short.extend_from_slice(&[0; 4]);
+        assert!(decode_reply(&short).is_err());
+        // Trailing garbage after a well-formed pong.
+        let mut long = encode_reply(&Reply::Pong(Pong::default()));
+        long.push(0xAA);
+        assert!(decode_reply(&long).is_err());
+        // Non-utf8 version bytes.
+        let mut bad = vec![REP_PONG];
+        put_bytes(&mut bad, &[0xFF, 0xFE]);
+        bad.extend_from_slice(&[0; 16]);
+        assert!(decode_reply(&bad).is_err());
+    }
+
+    #[test]
+    fn malformed_stats_payloads_are_errors() {
+        let good = encode_reply(&Reply::Stats(sample_stats()));
+
+        // Every strict prefix of a well-formed stats reply is truncated
+        // somewhere — none may decode (or panic).
+        for cut in 1..good.len() {
+            assert!(decode_reply(&good[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+        // Trailing garbage after a well-formed reply.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_reply(&long).is_err());
+
+        // Histogram-level rejection, via from_sparse: out-of-range bucket,
+        // duplicate bucket, min > max, and a count sum that overflows.
+        let hist_reply = |min: u64, max: u64, pairs: &[(u8, u64)]| {
+            let mut out = vec![REP_STATS];
+            put_bytes(&mut out, b"caches");
+            put_bytes(&mut out, b"0.1.0");
+            out.extend_from_slice(&[0; 32]); // uptime, requests, bytes in/out
+            out.extend_from_slice(&1u32.to_le_bytes());
+            put_bytes(&mut out, b"ping");
+            out.extend_from_slice(&min.to_le_bytes());
+            out.extend_from_slice(&max.to_le_bytes());
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for &(b, c) in pairs {
+                out.push(b);
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            out
+        };
+        assert!(decode_reply(&hist_reply(0, 0, &[(64, 1)])).is_err(), "bucket out of range");
+        assert!(decode_reply(&hist_reply(0, 9, &[(3, 1), (3, 1)])).is_err(), "duplicate bucket");
+        assert!(decode_reply(&hist_reply(9, 5, &[(3, 1)])).is_err(), "min > max");
+        assert!(
+            decode_reply(&hist_reply(0, 9, &[(1, u64::MAX), (2, 1)])).is_err(),
+            "count overflow"
+        );
+        // The valid shape these were mutated from does decode.
+        assert!(decode_reply(&hist_reply(4, 4, &[(3, 1)])).is_ok());
     }
 
     #[test]

@@ -162,7 +162,9 @@ fn socket_round_trip_serves_cached_links_and_shuts_down() {
     let objects = program(HELPER_SRC);
 
     let mut client = Client::connect(&path).unwrap();
-    client.ping().unwrap();
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.version, env!("CARGO_PKG_VERSION"));
+    assert_eq!(pong.requests, 1, "the first request is this ping itself");
 
     let (cached1, image1) = client.link(&objects, OmLevel::FullSched, false).unwrap().unwrap();
     assert!(!cached1);
@@ -180,10 +182,46 @@ fn socket_round_trip_serves_cached_links_and_shuts_down() {
     bad.push(broken_module());
     let err = client.link(&bad, OmLevel::Full, false).unwrap().unwrap_err();
     assert!(!err.is_empty());
-    client.ping().unwrap();
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.requests, 5, "first ping + 3 links + this ping");
+
+    // An undecodable frame is an error reply too — and lands in the
+    // `error` latency bucket rather than a named endpoint.
+    {
+        use om_omd::wire::{decode_reply, read_frame, write_frame, Reply};
+        let mut raw = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        write_frame(&mut raw, &[0xEE, 1, 2, 3]).unwrap();
+        let reply = decode_reply(&read_frame(&mut raw).unwrap()).unwrap();
+        assert!(matches!(reply, Reply::Error(_)), "got {reply:?}");
+    }
 
     let stats = client.stats().unwrap();
-    assert!(stats.contains("links:"), "stats line should mention the link cache: {stats}");
+    assert!(
+        stats.caches.contains("links:"),
+        "stats line should mention the link cache: {}",
+        stats.caches
+    );
+    assert_eq!(stats.version, env!("CARGO_PKG_VERSION"));
+    assert_eq!(stats.requests, 7, "…plus the raw error frame and this stats request");
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    let count = |name: &str| {
+        stats
+            .endpoints
+            .iter()
+            .find(|ep| ep.name == name)
+            .map_or(0, |ep| ep.latency_us.count())
+    };
+    assert_eq!(count("ping"), 2);
+    assert_eq!(count("link"), 3, "two good links plus the rejected one");
+    assert_eq!(count("error"), 1, "the undecodable frame");
+    // This stats request itself is mid-flight while the snapshot is taken;
+    // a second request observes it completed.
+    let again = client.stats().unwrap();
+    assert_eq!(
+        again.endpoints.iter().find(|ep| ep.name == "stats").map(|ep| ep.latency_us.count()),
+        Some(1)
+    );
+    assert!(again.uptime_ms >= stats.uptime_ms);
 
     client.shutdown().unwrap();
     handle.wait();

@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! asim [--limit N] [--timing] [--profile OUT.json] [--sample N [--sample-check]]
-//!      [--reference] [--disasm [SYMBOL]] IMAGE.exe
+//!      [--reference] [--disasm [SYMBOL]] [--trace-json TRACE.json]
+//!      [--trace-summary] IMAGE.exe
 //! ```
+//!
+//! `--trace-json` / `--trace-summary` record the run on the block engine as
+//! a chrome://tracing file (or a stdout table): a `sim.run` span with
+//! block-cache occupancy, deterministic dispatch/decode counters, and the
+//! wall-clock decode vs dispatch split.
 //!
 //! Prints the program's result (and its `__write_int` output); `--timing`
 //! adds the 21064-model cycle statistics; `--profile` additionally collects
@@ -63,6 +69,8 @@ fn main() {
     let mut sample_check = false;
     let mut profile_path: Option<String> = None;
     let mut disasm: Option<Option<String>> = None;
+    let mut trace_json: Option<String> = None;
+    let mut trace_summary = false;
     let mut path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,6 +109,19 @@ fn main() {
                     }
                 }
             }
+            "--trace-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) if !p.is_empty() && !p.starts_with('-') => {
+                        trace_json = Some(p.clone());
+                    }
+                    _ => {
+                        eprintln!("asim: --trace-json needs an output path");
+                        exit(2);
+                    }
+                }
+            }
+            "--trace-summary" => trace_summary = true,
             "--disasm" => {
                 let next = args.get(i + 1);
                 if let Some(sym) = next.filter(|s| !s.starts_with('-') && !s.ends_with(".exe")) {
@@ -172,6 +193,22 @@ fn main() {
         return;
     }
 
+    let trace = (trace_json.is_some() || trace_summary).then(om_obs::Trace::new);
+    let _guard = trace.as_ref().map(om_obs::Trace::install);
+    let dump_trace = |t: &Option<om_obs::Trace>| {
+        let Some(t) = t else { return };
+        if let Some(out) = &trace_json {
+            if let Err(e) = std::fs::write(out, t.chrome_json("asim")) {
+                eprintln!("asim: cannot write {out}: {e}");
+                exit(1);
+            }
+            eprintln!("asim: wrote trace {out}");
+        }
+        if trace_summary {
+            print!("{}", t.summary());
+        }
+    };
+
     // Sampled timing is its own mode: exact functional execution with
     // interval-clustered, extrapolated cycle accounting.
     if let Some(interval) = sample {
@@ -179,6 +216,7 @@ fn main() {
             eprintln!("asim: {e}");
             exit(1);
         });
+        dump_trace(&trace);
         for v in &r.output {
             println!("{v}");
         }
@@ -240,6 +278,7 @@ fn main() {
             exit(1);
         }
     };
+    dump_trace(&trace);
 
     if let (Some(out), Some(profile)) = (&profile_path, &profile) {
         if let Err(e) = std::fs::write(out, profile.to_json()) {

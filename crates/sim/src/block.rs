@@ -228,11 +228,23 @@ struct BlockCache {
     blocks: Vec<Block>,
     line_shift: u32,
     bubble: u64,
+    /// Total micro-ops across all resident blocks (occupancy reporting).
+    uops_total: u64,
+    /// Wall time spent decoding blocks, accumulated only while a trace is
+    /// installed (report-only; split out of dispatch time by `run_blocks`).
+    decode_ns: u64,
 }
 
 impl BlockCache {
     fn new(m: &Machine, line_shift: u32, bubble: u64) -> BlockCache {
-        BlockCache { map: vec![u32::MAX; m.text.len()], blocks: Vec::new(), line_shift, bubble }
+        BlockCache {
+            map: vec![u32::MAX; m.text.len()],
+            blocks: Vec::new(),
+            line_shift,
+            bubble,
+            uops_total: 0,
+            decode_ns: 0,
+        }
     }
 
     /// Resolves `pc` to a block id, building the block on first entry.
@@ -250,6 +262,15 @@ impl BlockCache {
     }
 
     fn build(&mut self, m: &Machine, pc: u64, idx: usize) -> Result<u32, ExecError> {
+        let t0 = om_obs::enabled().then(std::time::Instant::now);
+        let r = self.build_inner(m, pc, idx);
+        if let Some(t0) = t0 {
+            self.decode_ns += t0.elapsed().as_nanos() as u64;
+        }
+        r
+    }
+
+    fn build_inner(&mut self, m: &Machine, pc: u64, idx: usize) -> Result<u32, ExecError> {
         let mut uops: Vec<Uop> = Vec::new();
         for k in idx..m.text.len() {
             if uops.len() == MAX_BLOCK {
@@ -302,6 +323,7 @@ impl BlockCache {
         }
         let sched = schedule(pc, &uops, self.line_shift, self.bubble);
         let id = u32::try_from(self.blocks.len()).expect("block count fits u32");
+        self.uops_total += uops.len() as u64;
         self.blocks.push(Block { start: pc, uops, sched });
         self.map[idx] = id;
         Ok(id)
@@ -664,15 +686,62 @@ impl BlockCoverage {
     }
 }
 
+/// Per-run dispatch tallies for observability (always cheap to keep; only
+/// published to the installed trace, if any).
+#[derive(Default)]
+struct RunTally {
+    dispatches: u64,
+    insts: u64,
+}
+
 /// The dispatch loop: whole-block architectural execution with the
 /// instruction budget checked once per block (an in-block remainder caps
 /// the final partial block, so `StepLimit` still fires at the exact
 /// instruction boundary the reference interpreter uses).
+///
+/// When a trace is installed this run becomes a `sim.run` span carrying
+/// block-cache occupancy, with deterministic dispatch/decode counters and a
+/// wall-clock decode vs dispatch time split.
 fn run_blocks(
     m: &mut Machine,
     cache: &mut BlockCache,
     limit: u64,
     hooks: &mut [&mut dyn BlockHook],
+) -> Result<RunResult, ExecError> {
+    let mut tally = RunTally::default();
+    if !om_obs::enabled() {
+        return run_block_loop(m, cache, limit, hooks, &mut tally);
+    }
+    let mut span = om_obs::span("sim.run");
+    let t0 = std::time::Instant::now();
+    let blocks0 = cache.blocks.len() as u64;
+    let uops0 = cache.uops_total;
+    let decode0 = cache.decode_ns;
+    let r = run_block_loop(m, cache, limit, hooks, &mut tally);
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    let decode_ns = cache.decode_ns - decode0;
+    // Deterministic facts of the execution (identical for identical images
+    // and limits), safe to merge and gate.
+    om_obs::count("sim.block_dispatches", tally.dispatches);
+    om_obs::count("sim.insts_retired", tally.insts);
+    om_obs::count("sim.blocks_decoded", cache.blocks.len() as u64 - blocks0);
+    om_obs::count("sim.uops_decoded", cache.uops_total - uops0);
+    // Wall-clock split: first-touch decode vs steady-state dispatch.
+    om_obs::timer_ns("sim.decode", decode_ns);
+    om_obs::timer_ns("sim.dispatch", total_ns.saturating_sub(decode_ns));
+    // Block-cache occupancy at run end.
+    span.arg("blocks_resident", cache.blocks.len() as u64);
+    span.arg("uops_resident", cache.uops_total);
+    span.arg("dispatches", tally.dispatches);
+    r
+}
+
+fn run_block_loop(
+    m: &mut Machine,
+    cache: &mut BlockCache,
+    limit: u64,
+    hooks: &mut [&mut dyn BlockHook],
+    tally: &mut RunTally,
 ) -> Result<RunResult, ExecError> {
     let mut insts: u64 = 0;
     let mut eas: Vec<u64> = Vec::with_capacity(MAX_BLOCK);
@@ -711,6 +780,8 @@ fn run_blocks(
             }
         }
         insts += done as u64;
+        tally.dispatches += 1;
+        tally.insts += done as u64;
         let term_taken = taken && done == b.len();
 
         for h in hooks.iter_mut() {
@@ -1120,6 +1191,29 @@ mod tests {
         Machine::load(&img).unwrap().run(1_000_000, &mut obs).expect("reference");
         let (_, cov) = run_covered_fast(&img, 1_000_000).expect("block engine");
         assert_eq!(obs.0, cov);
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing_the_run() {
+        let img = image(LOOP);
+        let (r_plain, t_plain) = run_timed_fast(&img, 1_000_000).expect("plain");
+        let trace = om_obs::Trace::new();
+        let (r_traced, t_traced) = {
+            let _g = trace.install();
+            run_timed_fast(&img, 1_000_000).expect("traced")
+        };
+        assert_eq!(r_plain, r_traced);
+        assert_eq!(t_plain, t_traced);
+        let counters = trace.counters();
+        assert_eq!(counters.get("sim.insts_retired"), Some(&r_plain.insts));
+        assert!(counters["sim.blocks_decoded"] > 0);
+        assert!(counters["sim.uops_decoded"] >= counters["sim.blocks_decoded"]);
+        assert!(counters["sim.block_dispatches"] >= counters["sim.blocks_decoded"]);
+        let sink = trace.sink();
+        let run_span = sink.spans.iter().find(|s| s.name == "sim.run").expect("sim.run span");
+        assert!(run_span.args.iter().any(|(k, v)| k == "blocks_resident" && *v > 0));
+        assert!(sink.timers_ns.contains_key("sim.decode"));
+        assert!(sink.timers_ns.contains_key("sim.dispatch"));
     }
 
     #[test]

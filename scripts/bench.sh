@@ -38,7 +38,7 @@ filter() {
 # Coverage: every variant the harness is supposed to measure must actually
 # appear in the run — a silently skipped figure would otherwise shrink the
 # diff instead of failing it.
-for fig in fig3 fig4 fig5 fig6 gat pgo fleet simsec; do
+for fig in fig3 fig4 fig5 fig6 gat pgo fleet simsec passes; do
     if ! grep -q "\"fig\":\"$fig\"" "$json"; then
         echo "FAIL: run produced no $fig rows" >&2
         exit 1
@@ -54,6 +54,10 @@ if ! grep '"fig":"simsec"' "$json" | grep -q '"engine"'; then
 fi
 if ! grep '"fig":"fleet"' "$json" | grep -q '"byte_identical":true'; then
     echo "FAIL: fleet rows missing or not byte-identical" >&2
+    exit 1
+fi
+if grep '"fig":"passes"' "$json" | grep -q '"reconciled":false'; then
+    echo "FAIL: a passes row failed to reconcile with OmStats" >&2
     exit 1
 fi
 if grep '"fig":"fleet"' "$json" | grep -q '"byte_identical":false'; then

@@ -30,6 +30,25 @@ cargo test -q -p om-core --test verify_all pgo_relink
 echo "== block-engine equivalence battery (19 workloads x 9 variants) =="
 cargo test -q --release -p om-sim --test block_equiv
 
+echo "== trace smoke (om --trace-json -> omtrace check) =="
+# One workload through the command-line pipeline with tracing on: the
+# emitted chrome://tracing JSON must parse, spans must nest, and every
+# enabled pass (plus the link phases and reconciling counters) must appear.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+cargo run --release -p om-workloads --bin genbench -- compress "$tracedir" --quick
+cargo run --release -p om-codegen --bin mcc -- "$tracedir"/*.mc
+cargo run --release -p om-core --bin om -- --level full-sched \
+    --trace-json "$tracedir/trace.json" -o "$tracedir/compress.exe" \
+    "$tracedir"/*.o "$tracedir/libstd.a"
+cargo run --release -p om-obs --bin omtrace -- check "$tracedir/trace.json" \
+    --require pipeline --require select --require pass.translate \
+    --require pass.resolve --require pass.calls --require pass.convert \
+    --require pass.nullify --require pass.resched --require emit \
+    --require link --require link.layout --require link.image \
+    --require-counter pipeline.runs --require-counter pipeline.image_bytes \
+    --require-counter link.gat_slots
+
 echo "== figure drift =="
 scripts/bench.sh --refresh
 
