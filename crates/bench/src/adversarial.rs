@@ -1,0 +1,372 @@
+//! Adversarial scenario pack: a structured corpus of inputs built to sit on
+//! the pipeline's limits, run by `omfuzz --adversarial` and `scripts/ci.sh`.
+//!
+//! Two families, two oracles:
+//!
+//! * **Source cases** are hand-shaped mini-C programs (huge displacement
+//!   spans that overflow GP-relative reach, pathological common-symbol
+//!   declaration orders, section sizes straddling the addressing window).
+//!   They run the full differential oracle: every `(compile mode × OM
+//!   level)` variant links with [`OmOptions::verify`] and must reproduce
+//!   the mini-C interpreter's checksum bit-for-bit.
+//! * **Object cases** are raw modules past (or exactly on) a hard limit —
+//!   near-`i32::MAX` sections, `u64`-wrapping size sums, single-module GAT
+//!   overflow. The oracle is *typed failure*: the standard linker must
+//!   return [`LinkError::Range`] (or link fine on the boundary), never
+//!   panic — a long-running `omd` cannot afford to abort on one bad
+//!   request.
+//!
+//! Unlike the random stream in [`crate::fuzz`], every case here is
+//! deterministic by construction, so a regression names the scenario that
+//! broke rather than a seed to re-derive.
+//!
+//! [`OmOptions::verify`]: om_core::pipeline::OmOptions
+
+use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_linker::{link_modules, LayoutOpts, LinkError, GAT_GROUP_CAPACITY};
+use om_objfile::{LitaEntry, Module, Reloc, RelocKind, SecId, SymId, Symbol};
+use om_sim::run_timed_fast;
+use om_workloads::stdlib::STDLIB_SOURCES;
+use om_workloads::{pad_gat, stdlib_libs, CompileMode};
+use std::fmt::Write as _;
+
+/// Interpreter step budget per source case (the programs are tiny loops
+/// over huge *data*, so execution stays short).
+pub const INTERP_STEPS: u64 = 80_000_000;
+/// Simulator instruction budget per variant.
+pub const SIM_STEPS: u64 = 120_000_000;
+
+/// What a case feeds the pipeline and what it expects back.
+pub enum CaseKind {
+    /// Mini-C sources through the full differential oracle (all compile
+    /// modes × OM levels, verification on, checksum vs the interpreter).
+    Source(Vec<(String, String)>),
+    /// Raw modules the standard linker must reject with
+    /// [`LinkError::Range`].
+    RangeObjects(Vec<Module>),
+    /// Raw modules sitting exactly on a limit that must still link.
+    BoundaryObjects(Vec<Module>),
+}
+
+/// One corpus entry.
+pub struct Case {
+    pub name: &'static str,
+    /// What limit the case leans on, for the report line.
+    pub detail: &'static str,
+    pub kind: CaseKind,
+}
+
+/// The structural skeleton the object cases corrupt: `__start` plus one
+/// GAT-addressed global (mirrors the standalone program the linker's own
+/// malformed-input tests use).
+fn seed_module(name: &str) -> Module {
+    let mut m = Module::new(name);
+    m.text = vec![0; 16];
+    m.data = vec![0; 16];
+    m.symbols.push(Symbol::proc("__start", 0, 16, 0));
+    m.symbols.push(Symbol::data(&format!("{name}_g"), SecId::Data, 0, 8));
+    m.lita.push(LitaEntry { sym: SymId(1), addend: 0 });
+    m.relocs.push(Reloc::text(0, RelocKind::Literal { lita: 0 }));
+    m
+}
+
+/// A module like [`seed_module`] but with no `__start` and no text — a pure
+/// data contributor for multi-module object cases.
+fn data_module(name: &str) -> Module {
+    let mut m = Module::new(name);
+    m.data = vec![0; 16];
+    m.symbols.push(Symbol::data(&format!("{name}_g"), SecId::Data, 0, 8));
+    m
+}
+
+/// Source case 1: globals whose combined span dwarfs GP-relative reach.
+/// Two 1 MiB arrays push the scalars declared around them far past a
+/// 16-bit displacement, so every access pattern (short GP window, literal
+/// slot, re-derived base) must agree with the interpreter.
+fn huge_span_sources() -> Vec<(String, String)> {
+    let module = "\
+int span_lo;
+int span_big0[262144];
+int span_big1[262144];
+int span_hi;
+
+int adv_span_entry(int i, int t) {
+  span_lo = span_lo + i * 3 + 1;
+  span_big0[(i * 7) & 262143] = t ^ span_lo;
+  span_big1[(t + i) & 262143] = span_big0[(i * 7) & 262143] + i;
+  span_hi = span_hi ^ span_big1[(t + i) & 262143];
+  return span_lo + span_hi;
+}
+";
+    vec![
+        ("adv_span".to_string(), module.to_string()),
+        ("adv_span_main".to_string(), driver(&["adv_span_entry"], 6)),
+    ]
+}
+
+/// Source case 2: common symbols declared in the worst order for the
+/// sorter — sizes alternating 4 KiB / 8 B and equal-size runs in reverse
+/// name order, mirrored across two modules. Both the sorted and unsorted
+/// layouts must produce the same checksum.
+fn common_order_sources() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut entries = Vec::new();
+    for (mi, tag) in ["a", "b"].iter().enumerate() {
+        let mut src = String::new();
+        for k in (0..12usize).rev() {
+            // Reverse declaration order; big commons interleaved with
+            // single-word ones so naive first-seen placement scatters the
+            // small data the sorter is supposed to pack.
+            if (k + mi) % 2 == 0 {
+                let _ = writeln!(src, "int cm{tag}_big{k}[1024];");
+                let _ = writeln!(src, "int cm{tag}_tiny{k};");
+            } else {
+                let _ = writeln!(src, "int cm{tag}_tiny{k};");
+                let _ = writeln!(src, "int cm{tag}_big{k}[1024];");
+            }
+        }
+        let entry = format!("adv_cm_{tag}");
+        let _ = writeln!(src, "\nint {entry}(int i, int t) {{");
+        for k in 0..12usize {
+            let _ = writeln!(src, "  cm{tag}_big{k}[(i + {k}) & 1023] = t + {k};");
+            let _ = writeln!(src, "  cm{tag}_tiny{k} = cm{tag}_tiny{k} + cm{tag}_big{k}[(i + {k}) & 1023];");
+            let _ = writeln!(src, "  t = t ^ cm{tag}_tiny{k};");
+        }
+        src.push_str("  return t;\n}\n");
+        out.push((format!("adv_cm_{tag}_mod"), src));
+        entries.push(entry);
+    }
+    let refs: Vec<&str> = entries.iter().map(|s| s.as_str()).collect();
+    out.push(("adv_cm_main".to_string(), driver(&refs, 5)));
+    out
+}
+
+/// Source case 3: a block of small data sized right at the 16-bit GP
+/// window, so some scalars land just inside short reach and the rest just
+/// outside — the boundary the displacement re-writer has to get exact.
+fn near_window_sources() -> Vec<(String, String)> {
+    let mut src = String::new();
+    src.push_str("int win_front;\n");
+    // 8192 ints = 64 KiB: alone it exceeds the ±32 KiB short window.
+    src.push_str("int win_pad[8192];\n");
+    for g in 0..8 {
+        let _ = writeln!(src, "int win_back{g};");
+    }
+    src.push_str("\nint adv_win_entry(int i, int t) {\n");
+    src.push_str("  win_front = win_front + i + 1;\n");
+    src.push_str("  win_pad[(t * 5 + i) & 8191] = win_front ^ t;\n");
+    for g in 0..8 {
+        let _ = writeln!(src, "  win_back{g} = win_back{g} + win_pad[(i + {g}) & 8191] + {g};");
+        let _ = writeln!(src, "  t = t ^ win_back{g};");
+    }
+    src.push_str("  return t + win_front;\n}\n");
+    vec![
+        ("adv_win".to_string(), src),
+        ("adv_win_main".to_string(), driver(&["adv_win_entry"], 6)),
+    ]
+}
+
+/// A checksumming `main` that drives each entry `iters` times.
+fn driver(entries: &[&str], iters: u64) -> String {
+    let mut src = String::new();
+    src.push_str("extern int cksum_reset();\nextern int cksum_add(int);\nextern int cksum_get();\n");
+    for e in entries {
+        let _ = writeln!(src, "extern int {e}(int, int);");
+    }
+    src.push_str("\nint main() {\n  cksum_reset();\n  int t = 1;\n  int i = 0;\n");
+    let _ = writeln!(src, "  for (i = 0; i < {iters}; i = i + 1) {{");
+    for (k, e) in entries.iter().enumerate() {
+        let _ = writeln!(src, "    t = t + {e}(i + {k}, t & 0xFFFF);");
+    }
+    src.push_str("    cksum_add(t);\n  }\n  return cksum_get() ^ (t & 0xFFFF);\n}\n");
+    src
+}
+
+/// The full corpus, in a stable order.
+pub fn corpus() -> Vec<Case> {
+    let mut cases = vec![
+        Case {
+            name: "huge-displacement-span",
+            detail: "two 1 MiB arrays push scalars past GP-relative reach",
+            kind: CaseKind::Source(huge_span_sources()),
+        },
+        Case {
+            name: "pathological-common-order",
+            detail: "alternating 4 KiB/8 B commons declared in reverse name order",
+            kind: CaseKind::Source(common_order_sources()),
+        },
+        Case {
+            name: "near-window-small-data",
+            detail: "64 KiB block straddles the 16-bit GP displacement window",
+            kind: CaseKind::Source(near_window_sources()),
+        },
+    ];
+
+    let mut near_max = seed_module("advo_nearmax");
+    near_max.bss_size = i32::MAX as u64;
+    cases.push(Case {
+        name: "near-i32-max-section",
+        detail: "a .bss alone filling the 31-bit data span must be a typed Range error",
+        kind: CaseKind::RangeObjects(vec![near_max]),
+    });
+
+    let mut wrap_a = seed_module("advo_wrap_a");
+    wrap_a.bss_size = u64::MAX - 64;
+    let mut wrap_b = data_module("advo_wrap_b");
+    wrap_b.bss_size = 128;
+    cases.push(Case {
+        name: "u64-wrapping-sections",
+        detail: "section sizes whose sum wraps u64 must not lay out overlapping",
+        kind: CaseKind::RangeObjects(vec![wrap_a, wrap_b]),
+    });
+
+    let mut gat_over = seed_module("advo_gatover");
+    pad_gat(&mut gat_over, GAT_GROUP_CAPACITY + 1, "advo");
+    cases.push(Case {
+        name: "single-module-gat-overflow",
+        detail: "one module with more unique slots than a GP group can never split",
+        kind: CaseKind::RangeObjects(vec![gat_over]),
+    });
+
+    let mut gat_edge = seed_module("advo_gatedge");
+    // The seed module already owns one slot; this fills the group exactly.
+    pad_gat(&mut gat_edge, GAT_GROUP_CAPACITY - 1, "adve");
+    cases.push(Case {
+        name: "exact-gat-capacity-boundary",
+        detail: "exactly GAT_GROUP_CAPACITY unique slots still fills one legal group",
+        kind: CaseKind::BoundaryObjects(vec![gat_edge]),
+    });
+
+    cases
+}
+
+/// Runs one case against its oracle. `Ok` carries a one-line summary of
+/// what was checked; `Err` carries the first divergence.
+pub fn run_case(case: &Case) -> Result<String, String> {
+    match &case.kind {
+        CaseKind::Source(sources) => run_source_case(sources),
+        CaseKind::RangeObjects(objects) => {
+            match link_modules(objects, &[], &LayoutOpts::default()) {
+                Err(e @ LinkError::Range { .. }) => {
+                    Ok(format!("typed Range error as required: {e}"))
+                }
+                Err(other) => Err(format!("wrong error kind: {other}")),
+                Ok(_) => Err("linked cleanly where a Range error was required".to_string()),
+            }
+        }
+        CaseKind::BoundaryObjects(objects) => {
+            match link_modules(objects, &[], &LayoutOpts::default()) {
+                Ok(_) => Ok("boundary input linked cleanly".to_string()),
+                Err(e) => Err(format!("boundary input must link, got: {e}")),
+            }
+        }
+    }
+}
+
+/// The differential oracle for a source case: interpreter reference, then
+/// every `(compile mode × OM level)` variant with verification on.
+fn run_source_case(sources: &[(String, String)]) -> Result<String, String> {
+    let mut all: Vec<(String, String)> = sources.to_vec();
+    for (n, s) in STDLIB_SOURCES {
+        all.push((n.to_string(), s.to_string()));
+    }
+    let refs: Vec<(&str, &str)> = all.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let reference = om_minic::interp::run_sources(&refs, INTERP_STEPS)
+        .map_err(|e| format!("interpreter reference: {e}"))?;
+
+    let libs = stdlib_libs().map_err(|e| format!("stdlib: {e}"))?;
+    let opts = OmOptions { verify: true, ..OmOptions::default() };
+    let copts = om_codegen::CompileOpts::o2();
+    let mut variants = 0usize;
+    for mode in CompileMode::ALL {
+        let mut objects =
+            vec![om_codegen::crt0::module().map_err(|e| format!("crt0: {e}"))?];
+        match mode {
+            CompileMode::Each => {
+                for (n, s) in sources {
+                    objects.push(
+                        om_codegen::compile_source(n, s, &copts)
+                            .map_err(|e| format!("compile {n}: {e}"))?,
+                    );
+                }
+            }
+            CompileMode::All => {
+                let srefs: Vec<(&str, &str)> =
+                    sources.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+                objects.push(
+                    om_codegen::compile_all_sources("adv_all", &srefs, &copts)
+                        .map_err(|e| format!("compile-all: {e}"))?,
+                );
+            }
+        }
+        for level in OmLevel::ALL {
+            let variant = format!("{} × {}", mode.name(), level.name());
+            let out = optimize_and_link_with(&objects, &libs, level, &opts)
+                .map_err(|e| format!("{variant}: link/verify: {e}"))?;
+            if out.verify.is_none() {
+                return Err(format!("{variant}: verification did not run"));
+            }
+            let (r, _) = run_timed_fast(&out.image, SIM_STEPS)
+                .map_err(|e| format!("{variant}: simulator: {e}"))?;
+            if r.result != reference {
+                return Err(format!(
+                    "{variant}: checksum {} != reference {reference}",
+                    r.result
+                ));
+            }
+            variants += 1;
+        }
+    }
+    Ok(format!("{variants} verified variants match checksum {reference}"))
+}
+
+/// Runs the whole corpus, reporting each case through `report`. A panic in
+/// a case counts as a failure (the oracle is "typed error, never panic").
+/// Returns the failure count.
+pub fn run_all(mut report: impl FnMut(&str, &str, &Result<String, String>)) -> usize {
+    let mut failures = 0;
+    for case in corpus() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_case(&case)))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(format!("PANICKED: {msg}"))
+            });
+        if outcome.is_err() {
+            failures += 1;
+        }
+        report(case.name, case.detail, &outcome);
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_stable_and_named() {
+        let c = corpus();
+        assert!(c.len() >= 7, "corpus shrank to {}", c.len());
+        let names: Vec<&str> = c.iter().map(|k| k.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate case names");
+    }
+
+    #[test]
+    fn object_cases_hit_their_typed_oracles() {
+        // The object-level half is cheap enough for debug CI; the source
+        // cases run in release via `omfuzz --adversarial`.
+        for case in corpus() {
+            match case.kind {
+                CaseKind::Source(_) => continue,
+                _ => run_case(&case).unwrap_or_else(|e| panic!("{}: {e}", case.name)),
+            };
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `omfleet` — the CI-fleet relink benchmark, standalone.
 //!
 //! ```text
-//! omfleet [--smoke] [--quick] [--bench NAME]... [--json PATH]
+//! omfleet [--smoke] [--quick] [--scale N] [--bench NAME]... [--json PATH]
 //! ```
 //!
 //! Default: runs the full relink storm (10 edits × 5 repeats, 8 client
@@ -12,9 +12,16 @@
 //! if any benchmark's per-module hit rate drops below the 80% floor, any
 //! served image differs from the one-shot pipeline, or the socket relink
 //! misbehaves.
+//!
+//! `--scale N` runs the storm over an N-module scale workload instead and
+//! enforces the tighter invalidation gate: a single-module edit at scale
+//! must reuse ≥ 99% of translations ([`SCALE_HIT_RATE_FLOOR`]), images must
+//! stay byte-identical, and a deliberately tiny cache must evict without
+//! ever serving a wrong image.
 
 use om_bench::figures::Prepared;
-use om_bench::fleet::{fleet, FleetConfig, HIT_RATE_FLOOR};
+use om_bench::fleet::{fleet, fleet_built, FleetConfig, HIT_RATE_FLOOR};
+use om_bench::scale::{built_each, eviction_smoke, SCALE_HIT_RATE_FLOOR};
 use om_bench::{json, render};
 use om_core::OmLevel;
 use om_omd::{serve, Client, LinkServer};
@@ -27,8 +34,54 @@ const SMOKE_BENCHES: usize = 6;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: omfleet [--smoke] [--quick] [--bench NAME]... [--json PATH]");
+    eprintln!("usage: omfleet [--smoke] [--quick] [--scale N] [--bench NAME]... [--json PATH]");
     std::process::exit(2);
+}
+
+/// The `--scale N` gate: the relink storm over an N-module scale build,
+/// held to the 99% invalidation floor, plus the eviction-bound smoke.
+fn scale_fleet(n: usize, quick: bool) -> ! {
+    let cfg = if quick { FleetConfig::quick() } else { FleetConfig::full() };
+    eprintln!(
+        "fleet --scale {n}: building {n} modules, then {} edits x {} repeats at {} threads...",
+        cfg.edits, cfg.repeats, cfg.jobs
+    );
+    let b = built_each(n);
+    let row = fleet_built(&b, &cfg);
+    println!(
+        "scale{n}: {} requests over {} modules: {} module misses, hit rate {:.3}%, \
+         p50 {}us p99 {}us, identical {}",
+        row.requests,
+        row.modules,
+        row.module_misses,
+        row.hit_rate * 100.0,
+        row.p50_us,
+        row.p99_us,
+        row.byte_identical
+    );
+    let mut failures = Vec::new();
+    if row.hit_rate < SCALE_HIT_RATE_FLOOR {
+        failures.push(format!(
+            "hit rate {:.3}% below the {:.0}% scale floor — a one-module edit is not O(1 module)",
+            row.hit_rate * 100.0,
+            SCALE_HIT_RATE_FLOOR * 100.0
+        ));
+    }
+    if row.byte_identical {
+        eprintln!("fleet --scale {n}: every served image byte-identical to one-shot");
+    } else {
+        failures.push("served image differs from one-shot pipeline".to_string());
+    }
+    eviction_smoke(&b, 64);
+    eprintln!("fleet --scale {n}: 64-entry cache evicted under pressure, images intact");
+    if failures.is_empty() {
+        eprintln!("fleet --scale {n}: OK");
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("FLEET FAILURE: scale{n}: {f}");
+    }
+    std::process::exit(1);
 }
 
 fn main() {
@@ -36,6 +89,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut quick = false;
+    let mut scale_n: Option<usize> = None;
     let mut filter: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut i = 0;
@@ -43,6 +97,14 @@ fn main() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--quick" => quick = true,
+            "--scale" => {
+                i += 1;
+                scale_n = match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    // The 99% floor needs ≥ 100 modules to be meetable at all.
+                    Some(n) if n >= 100 => Some(n),
+                    _ => usage("--scale needs a module count >= 100"),
+                };
+            }
             "--bench" => {
                 i += 1;
                 match args.get(i) {
@@ -62,6 +124,10 @@ fn main() {
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+
+    if let Some(n) = scale_n {
+        scale_fleet(n, quick || smoke);
     }
 
     let mut specs: Vec<_> = spec::all()

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! omfuzz [--seeds N] [--start S] [--jobs N] [--out DIR]
-//!        [--modules N] [--procs N] [--stmts N]
+//!        [--modules N] [--procs N] [--stmts N] [--adversarial]
 //! ```
 //!
 //! Each seed generates a random mini-C program, runs the mini-C interpreter
@@ -15,6 +15,12 @@
 //! Failures are shrunk (modules → procedures → statements) and a minimized
 //! repro file is written to `--out` (default `target/omfuzz`). Exits 1 if
 //! any seed failed.
+//!
+//! `--adversarial` runs the deterministic scenario corpus
+//! ([`om_bench::adversarial`]) instead of random seeds: hand-shaped inputs
+//! sitting on the pipeline's limits, each gated on its own oracle (full
+//! differential check for source cases, typed-`Range`-error for object
+//! cases). Exits 1 if any case fails or panics.
 
 use om_bench::fuzz::{check, generate, shrink, write_repro, FuzzConfig, Outcome};
 use om_bench::par::{default_jobs, parallel_map};
@@ -31,6 +37,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--adversarial" => run_adversarial(),
             "--seeds" => {
                 i += 1;
                 seeds = parse_num(args.get(i), "--seeds");
@@ -66,7 +73,7 @@ fn main() {
                 eprintln!("omfuzz: unknown option {other}");
                 eprintln!(
                     "usage: omfuzz [--seeds N] [--start S] [--jobs N] [--out DIR] \
-                     [--modules N] [--procs N] [--stmts N]"
+                     [--modules N] [--procs N] [--stmts N] [--adversarial]"
                 );
                 exit(2);
             }
@@ -137,6 +144,20 @@ fn main() {
         eprintln!("omfuzz: failing seeds: {failures:?}");
         exit(1);
     }
+}
+
+/// Runs the deterministic adversarial corpus and exits with its verdict.
+fn run_adversarial() -> ! {
+    let failures = om_bench::adversarial::run_all(|name, detail, outcome| match outcome {
+        Ok(summary) => eprintln!("omfuzz: adversarial {name}: ok — {summary}"),
+        Err(why) => eprintln!("omfuzz: adversarial {name} ({detail}): FAILED — {why}"),
+    });
+    if failures > 0 {
+        eprintln!("omfuzz: adversarial corpus: {failures} case(s) failed");
+        exit(1);
+    }
+    eprintln!("omfuzz: adversarial corpus: all cases passed");
+    exit(0);
 }
 
 fn parse_num(arg: Option<&String>, flag: &str) -> u64 {

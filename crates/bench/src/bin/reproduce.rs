@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! reproduce [fig3] [fig4] [fig5] [fig6] [fig7] [gat] [pgo] [fleet] [passes]
-//!           [all] [--quick] [--bench NAME]... [--jobs N] [--json PATH]
+//!           [scale] [all] [--quick] [--bench NAME]... [--jobs N] [--json PATH]
 //! ```
 //!
 //! Benchmarks are built and measured on a worker pool (`--jobs`, default =
@@ -19,13 +19,13 @@ use om_bench::{json, render};
 use om_workloads::spec;
 use std::time::Instant;
 
-const FIGURES: [&str; 9] =
-    ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo", "fleet", "passes"];
+const FIGURES: [&str; 10] =
+    ["fig3", "fig4", "fig5", "fig6", "fig7", "gat", "pgo", "fleet", "passes", "scale"];
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|fleet|passes|all] [--quick] \
+        "usage: reproduce [fig3|fig4|fig5|fig6|fig7|gat|pgo|fleet|passes|scale|all] [--quick] \
          [--bench NAME]... [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
@@ -105,12 +105,27 @@ fn main() {
         pgo: which.contains(&"pgo"),
         fleet: which.contains(&"fleet"),
         passes: which.contains(&"passes"),
+        scale: which.contains(&"scale"),
     };
 
-    eprintln!(
-        "building {} benchmarks (both compile modes, {jobs} jobs)...",
-        specs.len()
-    );
+    // The scale figure measures its own synthetic programs; skip building
+    // the 19 paper benchmarks when nothing else was asked for.
+    let needs_specs = sel.fig3
+        || sel.fig4
+        || sel.fig5
+        || sel.fig6
+        || sel.fig7
+        || sel.gat
+        || sel.pgo
+        || sel.fleet
+        || sel.passes;
+    let specs = if needs_specs { specs } else { Vec::new() };
+    if needs_specs {
+        eprintln!(
+            "building {} benchmarks (both compile modes, {jobs} jobs)...",
+            specs.len()
+        );
+    }
     let prepared: Vec<Prepared> = parallel_map(jobs, &specs, Prepared::new);
 
     if sel.fig6 {
@@ -121,7 +136,7 @@ fn main() {
     }
     // Figure 7 measures pipeline wall-clock, so it runs sequentially after
     // the parallel pass — concurrent workers would contend and inflate it.
-    let par_sel = Selection { fig7: false, fleet: false, ..sel };
+    let par_sel = Selection { fig7: false, fleet: false, scale: false, ..sel };
     let mut rows = parallel_map(jobs, &prepared, |p| figures::measure(p, par_sel));
     if sel.fig7 {
         for (r, p) in rows.iter_mut().zip(&prepared) {
@@ -136,6 +151,15 @@ fn main() {
             cfg.edits, cfg.repeats, cfg.jobs);
         for (r, p) in rows.iter_mut().zip(&prepared) {
             r.fleet = Some(fleet::fleet(p, &cfg));
+        }
+    }
+    if sel.scale && filter.is_empty() {
+        // Scale points are whole synthetic programs of their own, appended
+        // after the 19 paper benchmarks. Sequential like fig7: the link and
+        // relink times on the curve are the measurement.
+        for n in om_bench::scale::points(quick) {
+            eprintln!("scale: measuring scale{n} ({n} modules, all oracles)...");
+            rows.push(om_bench::scale::bench_rows(n));
         }
     }
 
@@ -158,6 +182,15 @@ fn main() {
             "pgo" => println!("{}", render::pgo(&rows_of!(pgo))),
             "fleet" => println!("{}", render::fleet(&rows_of!(fleet))),
             "passes" => println!("{}", render::passes(&rows_of!(passes))),
+            "scale" => {
+                let pairs: Vec<_> = rows
+                    .iter()
+                    .filter_map(|r| r.scale.map(|s| (r.name.clone(), (s, r.scaletime))))
+                    .collect();
+                if !pairs.is_empty() {
+                    println!("{}", render::scale(&pairs));
+                }
+            }
             _ => unreachable!(),
         }
     }

@@ -567,6 +567,10 @@ pub struct Selection {
     /// The per-pass counter table ([`passes`]): deterministic, measured in
     /// the parallel pass like fig3–fig5.
     pub passes: bool,
+    /// The scale-out figure ([`crate::scale`]). Not per-benchmark: the
+    /// harness runs it sequentially over its own scale points and appends
+    /// dedicated `scale{N}` rows.
+    pub scale: bool,
 }
 
 impl Selection {
@@ -582,6 +586,7 @@ impl Selection {
             pgo: true,
             fleet: true,
             passes: true,
+            scale: true,
         }
     }
 }
@@ -602,6 +607,12 @@ pub struct BenchRows {
     /// parallel measurement pass (like `fig7`).
     pub fleet: Option<crate::fleet::FleetRow>,
     pub passes: Option<PassesRow>,
+    /// The scale figure's deterministic row — only on the dedicated
+    /// `scale{N}` entries ([`crate::scale::bench_rows`]); always `None` on
+    /// the 19 paper benchmarks.
+    pub scale: Option<crate::scale::ScaleRow>,
+    /// The scale figure's wall-clock row (report-only, like fig7).
+    pub scaletime: Option<crate::scale::ScaleTimeRow>,
     /// Simulator seconds this benchmark spent across all its runs
     /// (report-only; excluded from baseline diffs like fig7).
     pub sim_seconds: f64,
@@ -627,6 +638,8 @@ pub fn measure(p: &Prepared, sel: Selection) -> BenchRows {
         }),
         fleet: None,
         passes: sel.passes.then(|| passes(p)),
+        scale: None,
+        scaletime: None,
         sim_seconds: 0.0,
     };
     // Sampled after every figure above has run, so it covers the whole

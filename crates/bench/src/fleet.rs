@@ -18,6 +18,7 @@ use crate::figures::Prepared;
 use crate::par::parallel_map;
 use om_core::{optimize_and_link_with, OmLevel, OmOptions};
 use om_objfile::Module;
+use om_workloads::build::BuiltBenchmark;
 use om_obs::Histogram;
 use om_omd::LinkServer;
 use std::time::Instant;
@@ -103,7 +104,16 @@ fn edition(objects: &[Module], e: usize) -> Vec<Module> {
 /// Panics if any relink fails — the editions are well-formed by
 /// construction, so a failure is a pipeline or cache bug.
 pub fn fleet(p: &Prepared, cfg: &FleetConfig) -> FleetRow {
-    let b = &p.each;
+    fleet_built(&p.each, cfg)
+}
+
+/// [`fleet`] on an arbitrary compile-each build — the entry point
+/// `omfleet --scale` uses, since scale workloads have no [`Prepared`].
+///
+/// # Panics
+///
+/// See [`fleet`].
+pub fn fleet_built(b: &BuiltBenchmark, cfg: &FleetConfig) -> FleetRow {
     let server = LinkServer::new(b.libs.to_vec());
     let level = OmLevel::FullSched;
     let options = OmOptions { verify: true, ..OmOptions::default() };
@@ -114,7 +124,7 @@ pub fn fleet(p: &Prepared, cfg: &FleetConfig) -> FleetRow {
     // module count.
     server
         .link(&b.objects, level, &options)
-        .unwrap_or_else(|e| panic!("{} fleet warmup: {e}", p.spec.name));
+        .unwrap_or_else(|e| panic!("{} fleet warmup: {e}", b.name));
     let modules = server.caches().modules.stats().misses as usize;
     let mod0 = server.caches().modules.stats();
     let link0 = server.caches().links.stats();
@@ -128,7 +138,7 @@ pub fn fleet(p: &Prepared, cfg: &FleetConfig) -> FleetRow {
         let t = Instant::now();
         server
             .link(&editions[e], level, &options)
-            .unwrap_or_else(|err| panic!("{} fleet edition {e}: {err}", p.spec.name));
+            .unwrap_or_else(|err| panic!("{} fleet edition {e}: {err}", b.name));
         t.elapsed().as_micros() as u64
     });
     let wall = t0.elapsed().as_secs_f64().max(1e-9);

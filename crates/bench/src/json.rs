@@ -175,6 +175,57 @@ fn rows_for(out: &mut String, r: &BenchRows) -> usize {
             ],
         );
     }
+    if let Some(x) = r.scale {
+        sep(out);
+        // Deterministic scale-point fields: GAT geometry, checksums,
+        // scenario-pack outcomes, cache-invalidation counts. Drift-gated
+        // against the baseline like fig3–fig5.
+        push_row(
+            out,
+            "scale",
+            &r.name,
+            &[
+                ("n", x.n.to_string()),
+                ("procs", x.procs.to_string()),
+                ("objects_each", x.objects_each.to_string()),
+                ("objects_all", x.objects_all.to_string()),
+                ("gat_entries_input", x.gat_entries_input.to_string()),
+                ("gat_slots", x.gat_slots.to_string()),
+                ("gp_groups_each", x.gp_groups_each.to_string()),
+                ("gp_groups_all", x.gp_groups_all.to_string()),
+                ("gat_slots_after_full", x.gat_slots_after_full.to_string()),
+                ("gp_resets_after_full", x.gp_resets_after_full.to_string()),
+                ("checksum", x.checksum.to_string()),
+                ("insts", x.insts.to_string()),
+                ("verified_variants", x.verified_variants.to_string()),
+                ("shared_gp_resets_kept", x.shared_gp_resets_kept.to_string()),
+                ("shared_identical", x.shared_identical.to_string()),
+                ("archive_members_live", x.archive_members_live.to_string()),
+                ("archive_members_total", x.archive_members_total.to_string()),
+                ("archive_chain_depth", x.archive_chain_depth.to_string()),
+                ("archive_checksum", x.archive_checksum.to_string()),
+                ("edit_module_misses", x.edit_module_misses.to_string()),
+                ("edit_hit_rate", f(x.edit_hit_rate)),
+                ("sampled_exact", x.sampled_exact.to_string()),
+            ],
+        );
+    }
+    if let Some(x) = r.scaletime {
+        sep(out);
+        // Wall-clock scaling curve (fig7 extended): report-only, excluded
+        // from baseline diffs like fig7, simsec, and fleet.
+        push_row(
+            out,
+            "scaletime",
+            &r.name,
+            &[
+                ("standard_link", f(x.standard_link)),
+                ("om_full_sched", f(x.om_full_sched)),
+                ("relink_cold", f(x.relink_cold)),
+                ("relink_edit", f(x.relink_edit)),
+            ],
+        );
+    }
     if r.sim_seconds > 0.0 {
         sep(out);
         // Wall-clock, like fig7: report-only, excluded from baseline diffs.
@@ -285,11 +336,41 @@ mod tests {
                 p.deltas[nullify][1] = 4;
                 p
             }),
+            scale: Some(crate::scale::ScaleRow {
+                n: 16,
+                procs: 1600,
+                objects_each: 17,
+                objects_all: 2,
+                gat_entries_input: 9000,
+                gat_slots: 8600,
+                gp_groups_each: 2,
+                gp_groups_all: 2,
+                gat_slots_after_full: 700,
+                gp_resets_after_full: 3,
+                checksum: -42,
+                insts: 123456,
+                verified_variants: 8,
+                shared_gp_resets_kept: 5,
+                shared_identical: true,
+                archive_members_live: 16,
+                archive_members_total: 24,
+                archive_chain_depth: 16,
+                archive_checksum: 77,
+                edit_module_misses: 1,
+                edit_hit_rate: 0.9375,
+                sampled_exact: true,
+            }),
+            scaletime: Some(crate::scale::ScaleTimeRow {
+                standard_link: 0.01,
+                om_full_sched: 0.05,
+                relink_cold: 0.04,
+                relink_edit: 0.002,
+            }),
             sim_seconds: 0.375,
         }];
         let s = report(&rows, true, 4, 1.5, (0.5, 0.25, 0.75));
         let bench_lines: Vec<&str> = s.lines().filter(|l| l.contains("\"bench\"")).collect();
-        assert_eq!(bench_lines.len(), 6, "{s}");
+        assert_eq!(bench_lines.len(), 8, "{s}");
         assert!(bench_lines[0].contains("\"fig\":\"fig5\""), "{s}");
         assert!(bench_lines[1].contains("\"each_before\":40"), "{s}");
         assert!(bench_lines[2].contains("\"fig\":\"pgo\""), "{s}");
@@ -301,8 +382,14 @@ mod tests {
         assert!(bench_lines[3].contains("\"reconciled\":true"), "{s}");
         assert!(bench_lines[4].contains("\"fig\":\"fleet\""), "{s}");
         assert!(bench_lines[4].contains("\"byte_identical\":true"), "{s}");
-        assert!(bench_lines[5].contains("\"fig\":\"simsec\""), "{s}");
-        assert!(bench_lines[5].contains("\"engine\":\"block\""), "{s}");
+        assert!(bench_lines[5].contains("\"fig\":\"scale\""), "{s}");
+        assert!(bench_lines[5].contains("\"verified_variants\":8"), "{s}");
+        assert!(bench_lines[5].contains("\"edit_module_misses\":1"), "{s}");
+        assert!(bench_lines[5].contains("\"sampled_exact\":true"), "{s}");
+        assert!(bench_lines[6].contains("\"fig\":\"scaletime\""), "{s}");
+        assert!(bench_lines[6].contains("\"relink_edit\":0.002"), "{s}");
+        assert!(bench_lines[7].contains("\"fig\":\"simsec\""), "{s}");
+        assert!(bench_lines[7].contains("\"engine\":\"block\""), "{s}");
         assert!(s.contains("\"engine\": \"block\""), "{s}");
         assert!(s.contains("\"phase_seconds\""), "{s}");
         // Valid-enough JSON: balanced braces/brackets on the skeleton.

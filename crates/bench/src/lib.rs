@@ -20,6 +20,7 @@
 //! overlapping figures share it. Output is collected in spec order, so it is
 //! byte-identical at any `--jobs` width.
 
+pub mod adversarial;
 pub mod figures;
 pub mod fleet;
 pub mod fuzz;
@@ -27,6 +28,7 @@ pub mod json;
 pub mod mutate;
 pub mod par;
 pub mod render;
+pub mod scale;
 
 pub use figures::{fig3, fig4, fig5, fig6, fig7, gat, Prepared};
 pub use par::{default_jobs, parallel_map};

@@ -422,6 +422,56 @@ pub fn fleet(rows: &[(String, crate::fleet::FleetRow)]) -> String {
     out
 }
 
+/// Renders the scaling-curve tables: deterministic geometry/oracle fields,
+/// then the wall-clock link times when present.
+pub fn scale(rows: &[(String, (crate::scale::ScaleRow, Option<crate::scale::ScaleTimeRow>))]) -> String {
+    let mut out = String::new();
+    out.push_str("Scaling curves: oracle-gated scale points (all variants verified)\n\n");
+    out.push_str(&format!(
+        "{:10} | {:>6} {:>7} | {:>8} {:>8} {:>5} {:>5} | {:>4} {:>6} | {:>5} {:>6} | {:>5}\n",
+        "point", "mods", "procs", "gat.in", "slots", "gp.e", "gp.a", "vars", "hit%", "arch", "smpl",
+        "ident"
+    ));
+    out.push_str(&"-".repeat(96));
+    out.push('\n');
+    for (name, (r, _)) in rows {
+        out.push_str(&format!(
+            "{:10} | {:>6} {:>7} | {:>8} {:>8} {:>5} {:>5} | {:>4} {:>6} | {:>2}/{:>2} {:>6} | {:>5}\n",
+            name,
+            r.n,
+            r.procs,
+            r.gat_entries_input,
+            r.gat_slots,
+            r.gp_groups_each,
+            r.gp_groups_all,
+            r.verified_variants,
+            pct(r.edit_hit_rate),
+            r.archive_members_live,
+            r.archive_members_total,
+            if r.sampled_exact { "exact" } else { "DRIFT" },
+            if r.shared_identical { "yes" } else { "NO" }
+        ));
+    }
+    let timed: Vec<(&String, &crate::scale::ScaleTimeRow)> =
+        rows.iter().filter_map(|(n, (_, t))| t.as_ref().map(|t| (n, t))).collect();
+    if !timed.is_empty() {
+        out.push_str("\nLink-time scaling (seconds; wall-clock, report-only)\n\n");
+        out.push_str(&format!(
+            "{:10} | {:>9} {:>9} | {:>11} {:>11}\n",
+            "point", "std-link", "OM-sched", "relink-cold", "relink-edit"
+        ));
+        out.push_str(&"-".repeat(58));
+        out.push('\n');
+        for (name, t) in timed {
+            out.push_str(&format!(
+                "{:10} | {:>9.3} {:>9.3} | {:>11.3} {:>11.3}\n",
+                name, t.standard_link, t.om_full_sched, t.relink_cold, t.relink_edit
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,9 +5,25 @@
 
 use om_codegen::{compile_source, crt0, CompileOpts};
 use om_core::{
-    optimize_and_link_cached, pipeline_runs, OmCaches, OmLevel, OmOptions,
+    optimize_and_link, optimize_and_link_cached, pipeline_runs, OmCaches, OmLevel, OmOptions,
 };
 use om_objfile::Module;
+use om_workloads::build::CompileMode;
+use om_workloads::scale::{build_scale, ScaleSpec};
+
+/// A debug-friendly scale workload: the full `--scale` program shape
+/// (per-module accessor/chain/entry procedures, cross-module calls, one
+/// driver) at a size tier-1 tests can afford. The 1000-module proofs run in
+/// release via `omfleet --scale` and `reproduce scale`.
+fn small_scale_spec() -> ScaleSpec {
+    ScaleSpec {
+        name: "scale_cachetest".to_string(),
+        modules: 12,
+        procs_per_module: 6,
+        globals_per_module: 4,
+        iters: 1,
+    }
+}
 
 fn program(tag: &str, helper_body: &str) -> Vec<Module> {
     let opts = CompileOpts::o2();
@@ -90,4 +106,64 @@ fn identical_requests_share_one_translation_per_module() {
     let stats = caches.modules.stats();
     assert_eq!(stats.misses, 3);
     assert_eq!(stats.hits, 3, "the second level re-uses all three translations");
+}
+
+#[test]
+fn scale_workload_edit_invalidates_one_of_many_modules() {
+    // The `--scale` shape, sized for a debug run: a single-module edit on a
+    // many-module program must recompute exactly that module — the property
+    // `omfleet --scale 1000` holds to a 99% reuse floor in release.
+    let b = build_scale(&small_scale_spec(), CompileMode::Each).unwrap();
+    let caches = OmCaches::default();
+    let options = OmOptions::default();
+
+    optimize_and_link_cached(&b.objects, &b.libs, OmLevel::Full, &options, &caches).unwrap();
+    let cold = caches.modules.stats();
+    assert!(
+        cold.misses as usize >= b.objects.len(),
+        "cold link translates every module (user objects + library members)"
+    );
+    assert_eq!(cold.hits, 0);
+
+    let mut edited = b.objects.clone();
+    let idx = edited.len() / 2;
+    edited[idx].data.extend_from_slice(&[9; 8]);
+    let (out, hit) =
+        optimize_and_link_cached(&edited, &b.libs, OmLevel::Full, &options, &caches).unwrap();
+    assert!(!hit, "an edited module changes the link key");
+    let warm = caches.modules.stats();
+    assert_eq!(warm.misses - cold.misses, 1, "only the edited module re-translates");
+    assert_eq!(
+        warm.hits - cold.hits,
+        cold.misses - 1,
+        "every other module (including library members) is served from cache"
+    );
+
+    // The served image is the *edited* program, identical to an uncached run.
+    let fresh = optimize_and_link(&edited, &b.libs, OmLevel::Full).unwrap();
+    assert_eq!(out.image.to_bytes(), fresh.image.to_bytes());
+}
+
+#[test]
+fn scale_workload_eviction_stays_bounded_and_correct() {
+    // A module cache far smaller than the link: it must respect its
+    // capacity, evict under pressure, and still serve a byte-identical
+    // image — eviction is a performance event, never a correctness one.
+    let b = build_scale(&small_scale_spec(), CompileMode::Each).unwrap();
+    let cap = 4;
+    let caches = OmCaches::new(cap, 2);
+    let options = OmOptions::default();
+
+    let (out, _) =
+        optimize_and_link_cached(&b.objects, &b.libs, OmLevel::Full, &options, &caches).unwrap();
+    let stats = caches.modules.stats();
+    assert!(caches.modules.len() <= cap, "cache grew past its bound: {}", caches.modules.len());
+    assert!(stats.evictions > 0, "a {}-module link must overflow a {cap}-entry cache", b.objects.len());
+
+    let fresh = optimize_and_link(&b.objects, &b.libs, OmLevel::Full).unwrap();
+    assert_eq!(
+        out.image.to_bytes(),
+        fresh.image.to_bytes(),
+        "evictions must never change the served image"
+    );
 }

@@ -73,12 +73,37 @@ fn align(v: u64, a: u64) -> u64 {
     v.div_ceil(a) * a
 }
 
+/// Largest data-segment span the relocation machinery can address: GPDISP
+/// splitting covers ±2GB around any text address, so the whole segment must
+/// stay within a signed 32-bit reach of its base.
+pub const MAX_DATA_SPAN: u64 = i32::MAX as u64;
+
+/// Advances `addr` by `size`, failing with a typed [`LinkError::Range`] if
+/// the addition wraps or pushes the data segment past [`MAX_DATA_SPAN`].
+/// Catching this here (not at relocation-patch time) also keeps
+/// `build_image` from materializing a multi-gigabyte zero fill first.
+fn data_bump(addr: &mut u64, size: u64, what: impl FnOnce() -> String) -> Result<(), LinkError> {
+    match addr.checked_add(size) {
+        Some(next) if next - DATA_BASE <= MAX_DATA_SPAN => {
+            *addr = next;
+            Ok(())
+        }
+        _ => Err(LinkError::Range {
+            what: format!(
+                "{} pushes the data segment past its {MAX_DATA_SPAN}-byte span",
+                what()
+            ),
+        }),
+    }
+}
+
 /// Computes the layout of `modules`.
 ///
 /// # Errors
 ///
-/// Currently infallible in practice; the `Result` surfaces future range
-/// failures (e.g. a program too large for the segment span).
+/// [`LinkError::Range`] when a single module's literal pool cannot fit one
+/// GAT group (groups split only at module boundaries) or when the section
+/// sizes overflow the data segment's addressable span.
 pub fn layout(
     modules: &[Module],
     symtab: &SymbolTable,
@@ -117,12 +142,28 @@ pub fn layout(
             .map(|e| gat_key(modules, symtab, mi, e.sym, e.addend))
             .collect();
         let new = keys.iter().filter(|k| !current.contains_key(*k)).count();
-        if current.len() + new > GAT_GROUP_CAPACITY && !current.is_empty() {
-            // Seal the group and start a new one for this module.
-            group_id += 1;
-            group_start = addr;
-            group_bases.push(group_start);
-            current = HashMap::new();
+        if current.len() + new > GAT_GROUP_CAPACITY {
+            if !current.is_empty() {
+                // Seal the group and start a new one for this module.
+                group_id += 1;
+                group_start = addr;
+                group_bases.push(group_start);
+                current = HashMap::new();
+            }
+            // Groups split only at module boundaries, so a module whose own
+            // pool outgrows a fresh group can never be laid out — the wall
+            // a monolithic compile-all merge of a scale-sized program hits.
+            let distinct = keys.iter().collect::<std::collections::HashSet<_>>().len();
+            if distinct > GAT_GROUP_CAPACITY {
+                return Err(LinkError::Range {
+                    what: format!(
+                        "module `{}` alone needs {distinct} GAT slots but one GP group \
+                         holds {GAT_GROUP_CAPACITY}; groups split only at module \
+                         boundaries (recompile in smaller units)",
+                        m.name
+                    ),
+                });
+            }
         }
         out.group_of_module[mi] = group_id;
         for (li, k) in keys.into_iter().enumerate() {
@@ -144,7 +185,7 @@ pub fn layout(
     let sdata_base = addr;
     for (mi, m) in modules.iter().enumerate() {
         out.bases[mi].sdata = addr;
-        addr += m.sdata.len() as u64;
+        data_bump(&mut addr, m.sdata.len() as u64, || format!(".sdata of `{}`", m.name))?;
     }
     addr = align(addr, 8);
     out.info.sdata = Extent { base: sdata_base, size: addr - sdata_base };
@@ -177,7 +218,7 @@ pub fn layout(
     for (name, size, al) in commons {
         addr = align(addr, al.max(8));
         out.common_addr.insert(name.clone(), addr);
-        addr += size;
+        data_bump(&mut addr, size, || format!("common `{name}`"))?;
     }
 
     // .sbss per module.
@@ -185,7 +226,7 @@ pub fn layout(
     for (mi, m) in modules.iter().enumerate() {
         addr = align(addr, 8);
         out.bases[mi].sbss = addr;
-        addr += m.sbss_size;
+        data_bump(&mut addr, m.sbss_size, || format!(".sbss of `{}`", m.name))?;
     }
     out.info.sbss = Extent { base: sbss_base, size: addr - sbss_base };
 
@@ -195,7 +236,7 @@ pub fn layout(
     for (mi, m) in modules.iter().enumerate() {
         addr = align(addr, 16);
         out.bases[mi].data = addr;
-        addr += m.data.len() as u64;
+        data_bump(&mut addr, m.data.len() as u64, || format!(".data of `{}`", m.name))?;
     }
     out.info.data = Extent { base: data_base, size: addr - data_base };
 
@@ -205,7 +246,7 @@ pub fn layout(
     for (mi, m) in modules.iter().enumerate() {
         addr = align(addr, 16);
         out.bases[mi].bss = addr;
-        addr += m.bss_size;
+        data_bump(&mut addr, m.bss_size, || format!(".bss of `{}`", m.name))?;
     }
     out.info.bss = Extent { base: bss_base, size: addr - bss_base };
 

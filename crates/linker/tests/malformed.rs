@@ -107,6 +107,54 @@ fn builder_api_reports_the_same_typed_error() {
 }
 
 #[test]
+fn near_i32_max_section_is_a_typed_range_error() {
+    // A .bss that alone fills the data segment's 31-bit span: layout must
+    // reject it with LinkError::Range *before* build_image tries to
+    // materialize a multi-gigabyte zero fill.
+    let mut m = base_module();
+    m.bss_size = i32::MAX as u64;
+    let e = link(m).unwrap_err();
+    assert!(matches!(e, LinkError::Range { .. }), "{e}");
+    assert!(e.to_string().contains("span"), "{e}");
+}
+
+#[test]
+fn wrapping_section_sizes_are_a_typed_range_error() {
+    // Sizes whose sum wraps u64: formerly silent wraparound in the layout
+    // accumulator, producing overlapping sections.
+    let mut a = base_module();
+    a.bss_size = u64::MAX - 64;
+    let mut b = base_module();
+    b.name = "n".to_string();
+    b.symbols[0] = Symbol::data("g2", SecId::Data, 0, 8);
+    b.symbols[1] = Symbol::data("g3", SecId::Data, 8, 8);
+    b.bss_size = 128;
+    let r = link_modules(&[a, b], &[], &LayoutOpts::default()).map(|_| ());
+    assert!(matches!(r, Err(LinkError::Range { .. })), "{r:?}");
+}
+
+#[test]
+fn single_module_gat_overflow_is_a_typed_range_error() {
+    // GP groups split only at module boundaries, so one module with more
+    // unique literal slots than a group holds can never be laid out — the
+    // failure mode of a monolithic compile-all merge at scale.
+    let mut m = base_module();
+    om_workloads::pad_gat(&mut m, om_linker::GAT_GROUP_CAPACITY + 1, "x");
+    let e = link(m).unwrap_err();
+    assert!(matches!(e, LinkError::Range { .. }), "{e}");
+    assert!(e.to_string().contains("GAT"), "{e}");
+}
+
+#[test]
+fn exactly_one_group_of_slots_still_links() {
+    // The boundary itself is legal: a module with exactly GAT_GROUP_CAPACITY
+    // unique slots fills one group without error.
+    let mut m = base_module();
+    om_workloads::pad_gat(&mut m, om_linker::GAT_GROUP_CAPACITY - 1, "y");
+    link(m).unwrap();
+}
+
+#[test]
 fn errors_render_without_panicking() {
     let mut m = base_module();
     m.relocs.push(Reloc::text(14, RelocKind::Gprel16 { sym: SymId(1), addend: 0, gp_group: 0 }));

@@ -1,0 +1,91 @@
+//! Pins the sampled-simulation contract on a scale workload: `asim
+//! --sample` (the [`run_sampled`] engine) may *estimate* cycles, but its
+//! functional results — checksum, retired-instruction count, program
+//! output — must be bit-exact against the full run. That exactness is what
+//! lets the scale figure use sampling as a sound oracle at sizes where a
+//! fully-timed run is impractical.
+
+use om_core::{optimize_and_link_with, OmLevel, OmOptions};
+use om_sim::{run_sampled, run_timed_fast};
+use om_workloads::build::CompileMode;
+use om_workloads::scale::{build_scale, interp_reference_scale, ScaleSpec};
+
+const STEPS: u64 = 200_000_000;
+
+/// Debug-affordable scale shape — the same generator `--scale 1000` uses,
+/// at a size tier-1 tests can run (release proofs live in `reproduce scale`).
+fn spec() -> ScaleSpec {
+    ScaleSpec {
+        name: "scale_sampletest".to_string(),
+        modules: 10,
+        procs_per_module: 8,
+        globals_per_module: 4,
+        iters: 2,
+    }
+}
+
+#[test]
+fn sampled_functional_results_are_exact_on_a_scale_workload() {
+    let spec = spec();
+    let reference = interp_reference_scale(&spec, STEPS).expect("interpreter reference");
+    let b = build_scale(&spec, CompileMode::Each).expect("scale build");
+    let opts = OmOptions { verify: true, ..OmOptions::default() };
+    let out = optimize_and_link_with(&b.objects, &b.libs, OmLevel::FullSched, &opts)
+        .expect("scale link");
+
+    let (full, _) = run_timed_fast(&out.image, STEPS).expect("full run");
+    assert_eq!(full.result, reference, "full run vs interpreter");
+
+    // Sweep intervals, including ones that do not divide the run length —
+    // partial final intervals are where an unsound sampler would drift.
+    for interval in [64, 1000, 4096, 100_000] {
+        let (sampled, report) =
+            run_sampled(&out.image, STEPS, interval).expect("sampled run");
+        assert_eq!(
+            sampled.result, full.result,
+            "interval {interval}: sampled checksum must equal the full run's"
+        );
+        assert_eq!(
+            sampled.insts, full.insts,
+            "interval {interval}: retired-instruction count must be exact"
+        );
+        assert_eq!(
+            sampled.output, full.output,
+            "interval {interval}: program output must be byte-identical"
+        );
+        assert_eq!(report.interval, interval);
+        assert!(report.intervals >= 1, "interval {interval}: nothing was sampled");
+        assert_eq!(
+            report.total_insts, full.insts,
+            "interval {interval}: the report must account for every instruction"
+        );
+        assert!(
+            report.sampled_insts <= report.total_insts,
+            "interval {interval}: sampled more instructions than were retired"
+        );
+        assert!(
+            report.estimated_cycles > 0,
+            "interval {interval}: estimate must be populated"
+        );
+    }
+}
+
+#[test]
+fn sampled_exactness_holds_at_every_om_level() {
+    // The sampler sits downstream of OM, so exactness must be independent
+    // of which transformations produced the image.
+    let spec = spec();
+    let b = build_scale(&spec, CompileMode::Each).expect("scale build");
+    let opts = OmOptions::default();
+    for level in OmLevel::ALL {
+        let out = optimize_and_link_with(&b.objects, &b.libs, level, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", level.name()));
+        let (full, _) = run_timed_fast(&out.image, STEPS)
+            .unwrap_or_else(|e| panic!("{}: full: {e}", level.name()));
+        let (sampled, _) = run_sampled(&out.image, STEPS, 10_000)
+            .unwrap_or_else(|e| panic!("{}: sampled: {e}", level.name()));
+        assert_eq!(sampled.result, full.result, "{}", level.name());
+        assert_eq!(sampled.insts, full.insts, "{}", level.name());
+        assert_eq!(sampled.output, full.output, "{}", level.name());
+    }
+}

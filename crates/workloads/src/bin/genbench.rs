@@ -12,10 +12,18 @@
 //! (`out/crt0.o` and `out/libstd.a` are emitted pre-built; the library
 //! sources under `out/lib/` are included for inspection or rebuilding with
 //! `mcc --ar`.)
+//!
+//! `genbench --scale N out/` writes the N-module scale workload instead —
+//! the program that forces multi-GAT group splits at real size (N user
+//! modules, 100 procedures each; see `om_workloads::scale`). At large N,
+//! compile the sources in partitioned groups (`mcc --all` over chunks) or
+//! one `mcc` per source; a monolithic merge of all N would exceed a single
+//! GP group's capacity and the linker will refuse it with a Range error.
 
 use om_codegen::crt0;
 use om_objfile::binary;
 use om_workloads::build::stdlib_archive;
+use om_workloads::scale;
 use om_workloads::spec;
 use std::path::PathBuf;
 use std::process::exit;
@@ -24,29 +32,59 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let (Some(name), Some(dir)) = (args.next(), args.next()) else {
         eprintln!("usage: genbench BENCHMARK OUTDIR [--quick]");
+        eprintln!("       genbench --scale N OUTDIR");
         eprintln!("benchmarks: {}", spec::all().iter().map(|s| s.name).collect::<Vec<_>>().join(" "));
         exit(2);
     };
-    let quick = args.next().as_deref() == Some("--quick");
 
-    let Some(mut s) = spec::by_name(&name) else {
-        eprintln!("genbench: unknown benchmark `{name}`");
-        exit(2);
+    let user_sources: Vec<(String, String)> = if name == "--scale" {
+        let Ok(n) = dir.parse::<usize>() else {
+            eprintln!("genbench: --scale needs a module count");
+            exit(2);
+        };
+        if !(2..=4000).contains(&n) {
+            eprintln!("genbench: --scale module count must be in 2..=4000");
+            exit(2);
+        }
+        let Some(outdir) = args.next() else {
+            eprintln!("usage: genbench --scale N OUTDIR");
+            exit(2);
+        };
+        let sp = scale::scale_spec(n);
+        eprintln!(
+            "genbench: scale{} = {} modules x {} procs ({} procedures; compile in groups of <= {})",
+            n,
+            sp.modules,
+            sp.procs_per_module,
+            scale::total_procs(&sp),
+            scale::chunk_modules(&sp)
+        );
+        return write_out(&outdir, scale::sources(&sp));
+    } else {
+        let Some(mut s) = spec::by_name(&name) else {
+            eprintln!("genbench: unknown benchmark `{name}`");
+            exit(2);
+        };
+        if args.next().as_deref() == Some("--quick") {
+            s = spec::quick(&s);
+        }
+        om_workloads::build::sources(&s)
     };
-    if quick {
-        s = spec::quick(&s);
-    }
+    write_out(&dir, user_sources);
+}
 
+fn write_out(dir: &str, user_sources: Vec<(String, String)>) {
     let dir = PathBuf::from(dir);
     std::fs::create_dir_all(&dir).unwrap();
     let libdir = dir.join("lib");
     std::fs::create_dir_all(&libdir).unwrap();
 
-    for (module, src) in om_workloads::build::sources(&s) {
+    let n_user = user_sources.len();
+    for (module, src) in user_sources {
         let p = dir.join(format!("{module}.mc"));
         std::fs::write(&p, src).unwrap();
-        eprintln!("genbench: wrote {}", p.display());
     }
+    eprintln!("genbench: wrote {n_user} sources to {}", dir.display());
     for (module, src) in om_workloads::stdlib::STDLIB_SOURCES {
         let p = libdir.join(format!("{module}.mc"));
         std::fs::write(&p, src).unwrap();

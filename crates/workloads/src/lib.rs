@@ -24,8 +24,10 @@
 
 pub mod build;
 pub mod gen;
+pub mod scale;
 pub mod spec;
 pub mod stdlib;
 
 pub use build::{stdlib_archive, stdlib_libs, BuildError, BuiltBenchmark, CompileMode};
 pub use gen::BenchSpec;
+pub use scale::{overflow_slots_per_module, pad_gat, scale_spec, ScaleSpec};

@@ -27,18 +27,19 @@ if [ "${1:-}" = "--update" ]; then
 fi
 
 # Deterministic rows only: every figure row carries a "bench" key; fig7 rows
-# are build-time measurements, simsec rows are simulator wall time, and
-# fleet rows carry request latency/throughput. The trailing array comma
-# depends on which row happens to be last, so it is stripped before diffing.
+# are build-time measurements, simsec rows are simulator wall time, fleet
+# rows carry request latency/throughput, and scaletime rows are the
+# wall-clock half of the scaling curve. The trailing array comma depends on
+# which row happens to be last, so it is stripped before diffing.
 filter() {
     grep '"bench"' "$1" | grep -v '"fig":"fig7"' | grep -v '"fig":"simsec"' \
-        | grep -v '"fig":"fleet"' | sed 's/,$//'
+        | grep -v '"fig":"fleet"' | grep -v '"fig":"scaletime"' | sed 's/,$//'
 }
 
 # Coverage: every variant the harness is supposed to measure must actually
 # appear in the run — a silently skipped figure would otherwise shrink the
 # diff instead of failing it.
-for fig in fig3 fig4 fig5 fig6 gat pgo fleet simsec passes; do
+for fig in fig3 fig4 fig5 fig6 gat pgo fleet simsec passes scale scaletime; do
     if ! grep -q "\"fig\":\"$fig\"" "$json"; then
         echo "FAIL: run produced no $fig rows" >&2
         exit 1
@@ -62,6 +63,21 @@ if grep '"fig":"passes"' "$json" | grep -q '"reconciled":false'; then
 fi
 if grep '"fig":"fleet"' "$json" | grep -q '"byte_identical":false'; then
     echo "FAIL: a fleet relink served a non-identical image" >&2
+    exit 1
+fi
+# Scale rows are oracle-gated in the harness itself (it panics rather than
+# record an unverified point); re-check the recorded markers anyway so a
+# harness regression cannot slip an ungated row into the baseline.
+if ! grep '"fig":"scale"' "$json" | grep -q '"verified_variants":8'; then
+    echo "FAIL: a scale row did not verify all 8 (mode x level) variants" >&2
+    exit 1
+fi
+if grep '"fig":"scale"' "$json" | grep -Eq '"sampled_exact":false|"shared_identical":false'; then
+    echo "FAIL: a scale row recorded a failed sampled/shared oracle" >&2
+    exit 1
+fi
+if grep '"fig":"scale"' "$json" | grep -v '"edit_module_misses":1' | grep -q .; then
+    echo "FAIL: a scale edit invalidated more than one module translation" >&2
     exit 1
 fi
 

@@ -57,6 +57,28 @@ echo "== CI-fleet smoke (bounded relink storm + socket round trip) =="
 # byte-identity of every cached image against the one-shot pipeline.
 cargo run --release -p om-bench --bin omfleet -- --smoke
 
+echo "== scale smoke (one mid-scale point through the tool pipeline) =="
+# A 256-module / 25k-procedure program end to end through the command-line
+# tools: genbench --scale emits the sources, mcc compiles them one unit per
+# source, and om links at full-sched with --verify. The figure harness
+# gates the same workload through all three oracles per point (see the
+# "scale" rows in figure drift above); this step proves the *standalone
+# tool* path handles a multi-GAT-split program too.
+scaledir=$(mktemp -d)
+trap 'rm -rf "$tracedir" "$scaledir"' EXIT
+cargo run --release -p om-workloads --bin genbench -- --scale 256 "$scaledir"
+cargo run --release -p om-codegen --bin mcc -- "$scaledir"/*.mc
+cargo run --release -p om-core --bin om -- --level full-sched --verify \
+    -o "$scaledir/scale.exe" "$scaledir"/*.o "$scaledir/libstd.a"
+
+echo "== scale fleet (single-module-edit invalidation at 256 modules) =="
+# Enforces the 99% reuse floor (one edit must invalidate O(1 module)) and
+# the eviction bound under a deliberately tiny cache.
+cargo run --release -p om-bench --bin omfleet -- --scale 256 --quick
+
+echo "== adversarial corpus (limit-straddling inputs, typed-error oracles) =="
+cargo run --release -p om-bench --bin omfuzz -- --adversarial
+
 echo "== differential fuzz ($seeds seeds) =="
 cargo run --release -p om-bench --bin omfuzz -- --seeds "$seeds"
 

@@ -13,20 +13,10 @@
 
 use om_repro::codegen::{compile_source, crt0, CompileOpts};
 use om_repro::core::{optimize_and_link, OmLevel};
-use om_repro::linker::{LayoutOpts, Linker, GAT_GROUP_CAPACITY};
-use om_repro::objfile::{LitaEntry, Module, SymId, Symbol};
+use om_repro::linker::{LayoutOpts, Linker};
+use om_repro::objfile::Module;
 use om_repro::sim::run_image;
-
-/// Pads a module's GAT with `n` never-referenced slots (each naming its own
-/// fresh common symbol, so none of them merge).
-fn pad_gat(m: &mut Module, n: usize, tag: &str) {
-    for i in 0..n {
-        let id = SymId(m.symbols.len() as u32);
-        m.symbols.push(Symbol::common(format!("pad_{tag}_{i}"), 8, 8));
-        m.lita.push(LitaEntry { sym: id, addend: 0 });
-    }
-    m.validate().unwrap();
-}
+use om_repro::workloads::scale::{overflow_slots_per_module, pad_gat};
 
 fn build_program() -> Vec<Module> {
     let opts = CompileOpts::o2();
@@ -50,9 +40,13 @@ fn build_program() -> Vec<Module> {
     )
     .unwrap();
 
-    // Fill most of group 0 with main's padding, then overflow with far's.
-    pad_gat(&mut main_obj, GAT_GROUP_CAPACITY - 200, "a");
-    pad_gat(&mut far_obj, 4000, "b");
+    // Each of the two padded modules gets the shared overflow quota, so the
+    // pair together is guaranteed to exceed one group's capacity — the same
+    // derivation the `--scale` generator uses, so test and generator cannot
+    // drift on the 8191-slot boundary.
+    let per = overflow_slots_per_module(2);
+    pad_gat(&mut main_obj, per, "a");
+    pad_gat(&mut far_obj, per, "b");
     vec![crt0::module().unwrap(), main_obj, far_obj]
 }
 
@@ -119,7 +113,7 @@ fn om_full_collapses_dead_slots_back_to_one_group() {
 
 #[test]
 fn sorted_commons_layout_is_accepted_at_scale() {
-    // Sanity: the OM layout policy handles ~12k commons without pathology.
+    // Sanity: the OM layout policy handles ~8k commons without pathology.
     let objects = build_program();
     let mut linker = Linker::new().layout_opts(LayoutOpts { sort_commons: true });
     for o in objects {
